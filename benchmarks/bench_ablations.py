@@ -1,0 +1,236 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but measurements justifying its engineering:
+
+1. Hastings update (Eq. 10) vs the Vidal inverse-lambda update - the paper
+   chose Eq. 10 so that "the algorithm would be numerically more stable";
+2. gate fusion on/off (Sec. III-A's absorption of single-qubit gates);
+3. DMRG vs MPS-VQE at equal bond dimension (Sec. III-A's substitutability
+   remark);
+4. LPT vs static scheduling of Pauli-string circuits (Sec. III-C's
+   "adapted dynamical load balancing").
+"""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.common.rng import default_rng
+from repro.common.timing import timed
+from repro.circuits.hea import random_brick_circuit
+from repro.simulators.mps import MPS
+from repro.simulators.mps_circuit import MPSSimulator
+
+from conftest import print_table
+
+
+def _canonical_violation(mps: MPS) -> float:
+    worst = 0.0
+    for q in range(mps.n_qubits):
+        b = mps.tensors[q]
+        g = np.einsum("lir,mir->lm", b, b.conj())
+        worst = max(worst, float(np.max(np.abs(g - np.eye(b.shape[0])))))
+    return worst
+
+
+def _weak_gate(seed: int, eps: float = 1e-4) -> np.ndarray:
+    rng = default_rng(seed)
+    h = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+    h = 0.5 * (h + h.conj().T)
+    return expm(1j * eps * h)
+
+
+def test_ablation_hastings_vs_vidal(benchmark):
+    """Eq. 10 vs dividing by Schmidt values, on weakly entangled evolution.
+
+    Weak entanglers leave tiny Schmidt values on every bond (the NISQ/VQE
+    regime the paper targets); the inverse-lambda update amplifies roundoff
+    catastrophically while the Hastings form stays canonical to machine
+    precision.
+    """
+    n, layers = 8, 30
+    gates = []
+    s = 0
+    for layer in range(layers):
+        for q in range(layer % 2, n - 1, 2):
+            gates.append((_weak_gate(s), q))
+            s += 1
+
+    def evolve(scheme):
+        mps = MPS(n, cutoff=0.0, update_scheme=scheme)
+        for u, q in gates:
+            mps.apply_two_qubit(u, q, q + 1)
+        return mps
+
+    rows = []
+    violations = {}
+    for scheme in ("hastings", "vidal"):
+        mps = evolve(scheme)
+        v = _canonical_violation(mps)
+        lmin = min(float(l.min()) for l in mps.lambdas[1:-1])
+        violations[scheme] = v
+        rows.append([scheme, v, lmin])
+
+    benchmark.pedantic(lambda: evolve("hastings"), rounds=1, iterations=1)
+
+    print_table(
+        "Ablation 1: canonical-form violation after weak-entangler evolution",
+        ["update scheme", "max |BB+ - I|", "min Schmidt value"],
+        rows,
+        "the paper keeps the right-canonical form via Eq. 10 'for one "
+        "thing, the algorithm would be numerically more stable'",
+    )
+    assert violations["hastings"] < 1e-10
+    assert violations["vidal"] > 1e3 * violations["hastings"]
+
+
+def test_ablation_gate_fusion(benchmark):
+    """Fusion on vs off for a rotation-heavy UCCSD-style circuit.
+
+    Fusion shrinks the gate *count* 2-3x; its runtime effect depends on the
+    simulator: on the statevector backend every absorbed single-qubit gate
+    saves a full O(2^n) pass, while on the MPS (where single-qubit gates
+    cost O(D^2) without an SVD) the win comes from the merged two-qubit
+    runs.  Both effects are measured here.
+    """
+    from repro.circuits.uccsd import UCCSDAnsatz
+    from repro.circuits.fusion import fuse_single_qubit_gates
+    from repro.simulators.statevector import StatevectorSimulator
+
+    ansatz = UCCSDAnsatz(5, 4)
+    rng = default_rng(9)
+    circ = ansatz.circuit().bind(0.1 * rng.standard_normal(
+        ansatz.n_parameters))
+    n = circ.n_qubits
+    fused = fuse_single_qubit_gates(circ)
+
+    t_sv_plain, _ = timed(lambda: StatevectorSimulator(n).run(circ),
+                          repeat=2)
+    t_sv_fused, _ = timed(lambda: StatevectorSimulator(n).run(fused),
+                          repeat=2)
+
+    benchmark(lambda: StatevectorSimulator(n).run(fused))
+    print_table(
+        "Ablation 2: gate fusion (UCCSD, 10 qubits)",
+        ["quantity", "unfused", "fused", "ratio"],
+        [["gate count", len(circ), len(fused), len(circ) / len(fused)],
+         ["SV seconds", t_sv_plain, t_sv_fused, t_sv_plain / t_sv_fused]],
+        "Sec. III-A: single-qubit gates 'can be absorbed into two-qubit "
+        "gates using gate fusion'",
+    )
+    assert len(fused) < 0.6 * len(circ)
+    assert t_sv_fused < t_sv_plain
+
+
+def test_ablation_dmrg_vs_vqe(benchmark, h2_mo):
+    """DMRG vs MPS-VQE at the same bond dimension (Sec. III-A remark)."""
+    from repro.circuits.uccsd import UCCSDAnsatz
+    from repro.operators.molecular import molecular_qubit_hamiltonian
+    from repro.simulators.dmrg import DMRG
+    from repro.vqe.vqe import VQE
+    from repro.chem.fci import FCISolver
+
+    mo, _ = h2_mo
+    ham = molecular_qubit_hamiltonian(mo)
+    e_fci = FCISolver(mo).solve().energy
+
+    rows = []
+    for d in (2, 4):
+        t_vqe, r_vqe = timed(lambda: VQE(
+            ham, UCCSDAnsatz(2, 2), simulator="mps",
+            max_bond_dimension=d).run(), repeat=1)
+        t_dmrg, r_dmrg = timed(lambda: DMRG(
+            ham, 4, max_bond_dimension=d, n_electrons=2).run(seed=1),
+            repeat=1)
+        rows.append([d, r_vqe.energy - e_fci, t_vqe,
+                     r_dmrg.energy - e_fci, t_dmrg])
+
+    benchmark.pedantic(
+        lambda: DMRG(ham, 4, max_bond_dimension=4, n_electrons=2).run(seed=1),
+        rounds=1, iterations=1)
+
+    print_table(
+        "Ablation 3: DMRG vs MPS-VQE at equal bond dimension (H2)",
+        ["D", "VQE err (Ha)", "VQE s", "DMRG err (Ha)", "DMRG s"],
+        rows,
+        "Sec. III-A: 'one may well substitute the VQE simulator by ... "
+        "DMRG and a similar or even higher precision would be expected'",
+    )
+    for row in rows:
+        assert row[3] <= row[1] + 1e-6  # DMRG at least as accurate
+
+
+def test_ablation_jw_vs_bk_on_mps(benchmark):
+    """Why the MPS pipeline uses Jordan-Wigner: contiguous supports.
+
+    JW excitation strings have contiguous qubit support, so the CNOT
+    staircases are already nearest-neighbour; Bravyi-Kitaev strings are
+    lower weight but scattered, and SWAP routing for the linear MPS
+    topology inflates the two-qubit gate count.
+    """
+    from repro.circuits.routing import route_to_nearest_neighbour
+    from repro.circuits.uccsd import UCCSDAnsatz
+
+    rows = []
+    counts = {}
+    for mapping in ("jw", "bk"):
+        ansatz = UCCSDAnsatz(5, 4, mapping=mapping)
+        circ = ansatz.circuit().bind(
+            0.1 * default_rng(1).standard_normal(ansatz.n_parameters))
+        routed = route_to_nearest_neighbour(circ)
+        max_w = max(pt.weight for exc in ansatz.excitations
+                    for pt, _ in exc.pauli_terms)
+        rows.append([mapping, max_w, circ.n_two_qubit_gates(),
+                     routed.n_two_qubit_gates()])
+        counts[mapping] = routed.n_two_qubit_gates()
+
+    benchmark.pedantic(
+        lambda: route_to_nearest_neighbour(
+            UCCSDAnsatz(5, 4, mapping="bk").circuit().bind(
+                np.zeros(UCCSDAnsatz(5, 4, mapping="bk").n_parameters))),
+        rounds=1, iterations=1)
+
+    print_table(
+        "Ablation 5: JW vs BK ansatz on a linear (MPS) topology",
+        ["mapping", "max Pauli weight", "2q gates", "2q gates routed"],
+        rows,
+        "Sec. III-A: JW's Z-chains make UCCSD staircases nearest-"
+        "neighbour, which is what the MPS simulator wants",
+    )
+    assert counts["jw"] < counts["bk"]
+
+
+def test_ablation_scheduling(benchmark):
+    """LPT vs static block scheduling of real Hamiltonian strings."""
+    from repro.chem import geometry
+    from repro.chem.scf import RHF
+    from repro.chem import mo as momod
+    from repro.operators.molecular import molecular_qubit_hamiltonian
+    from repro.vqe.grouping import partition_pauli_terms, group_loads
+
+    rhf = RHF(geometry.lih(), "sto-3g")
+    res = rhf.run()
+    momod.attach_eri(res, rhf.engine.eri())
+    ham = molecular_qubit_hamiltonian(momod.from_scf(res))
+
+    rows = []
+    ratios = {}
+    for strategy in ("block", "round_robin", "lpt"):
+        loads = group_loads(partition_pauli_terms(ham, 32, strategy))
+        imbalance = max(loads) / (sum(loads) / len(loads))
+        rows.append([strategy, max(loads), imbalance])
+        ratios[strategy] = imbalance
+
+    benchmark.pedantic(
+        lambda: partition_pauli_terms(ham, 32, "lpt"), rounds=3,
+        iterations=1)
+
+    print_table(
+        "Ablation 4: Pauli-string scheduling (LiH Hamiltonian, 32 ranks)",
+        ["strategy", "makespan (cost units)", "imbalance"],
+        rows,
+        "Sec. III-C: 'high parallel scalability with adapted dynamical "
+        "load balancing algorithm'",
+    )
+    assert ratios["lpt"] <= ratios["block"]
+    assert ratios["lpt"] < 1.05  # near-perfect balance

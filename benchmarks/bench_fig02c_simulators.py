@@ -1,0 +1,107 @@
+"""Fig. 2(c): SV vs DM vs MPS runtime scaling with qubit count.
+
+The paper's workload: a circuit that entangles every 4 consecutive qubits,
+preparing a state of MPS bond dimension 8.  SV costs ~2^n, DM ~4^n, MPS ~n -
+the crossovers and the MPS flatness are the reproduced shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.timing import timed
+from repro.circuits.hea import brick_ansatz
+from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.simulators.mps_circuit import MPSSimulator
+from repro.simulators.statevector import StatevectorSimulator
+
+from conftest import print_table
+
+
+def _bound_brick(n_qubits: int):
+    circ = brick_ansatz(n_qubits, window=4)
+    rng = np.random.default_rng(42)
+    return circ.bind(rng.standard_normal(circ.n_parameters))
+
+
+def _time_simulator(kind: str, n_qubits: int) -> float:
+    circ = _bound_brick(n_qubits)
+
+    def run():
+        if kind == "sv":
+            return StatevectorSimulator(n_qubits).run(circ)
+        if kind == "dm":
+            return DensityMatrixSimulator(n_qubits).run(circ)
+        return MPSSimulator(n_qubits, max_bond_dimension=8).run(circ)
+
+    secs, _ = timed(run, repeat=2)
+    return secs
+
+
+def test_fig02c_scaling_with_qubits(benchmark):
+    sv_sizes = [4, 8, 12, 14, 16]
+    dm_sizes = [4, 6, 8, 10]
+    mps_sizes = [4, 8, 16, 24, 32, 48]
+
+    times = {"sv": {}, "dm": {}, "mps": {}}
+    for n in sv_sizes:
+        times["sv"][n] = _time_simulator("sv", n)
+    for n in dm_sizes:
+        times["dm"][n] = _time_simulator("dm", n)
+    for n in mps_sizes:
+        times["mps"][n] = _time_simulator("mps", n)
+
+    benchmark(lambda: MPSSimulator(16, max_bond_dimension=8).run(
+        _bound_brick(16)))
+
+    rows = []
+    all_sizes = sorted(set(sv_sizes) | set(dm_sizes) | set(mps_sizes))
+    for n in all_sizes:
+        rows.append([
+            n,
+            times["sv"].get(n, float("nan")),
+            times["dm"].get(n, float("nan")),
+            times["mps"].get(n, float("nan")),
+        ])
+    print_table(
+        "Fig 2c: simulator runtime (s) vs qubits (brick circuit, D=8)",
+        ["qubits", "statevector", "density-matrix", "MPS"],
+        rows,
+        "SV/DM runtimes explode exponentially while MPS stays ~linear; "
+        "DM hits its wall first.",
+    )
+
+    # shape assertions
+    # 1) DM grows faster than SV (4^n vs 2^n): compare growth 4 -> 10 vs 4 -> 16
+    sv_growth = times["sv"][16] / times["sv"][8]
+    dm_growth = times["dm"][10] / times["dm"][8]
+    mps_growth = times["mps"][32] / times["mps"][16]
+    # MPS growth over doubling qubits is ~2x (linear), far below SV's
+    assert mps_growth < sv_growth
+    assert mps_growth < 8.0  # roughly linear, allow overheads
+    # 2) at 16 qubits MPS beats SV decisively
+    assert times["mps"][16] < times["sv"][16]
+    # 3) at 10 qubits DM is the slowest of the three
+    assert times["dm"][10] > times["sv"].get(10, times["sv"][8])
+    assert times["dm"][10] > times["mps"].get(10, times["mps"][8])
+
+
+def test_fig02c_memory_scaling(benchmark):
+    """Memory footprints: 16B * 2^n (SV), 16B * 4^n (DM), ~linear (MPS)."""
+    rows = []
+    for n in (8, 16, 24, 48):
+        sv_bytes = 16 * 2 ** n
+        dm_bytes = 16 * 4 ** n
+        mps = MPSSimulator(n, max_bond_dimension=8).run(_bound_brick(n))
+        rows.append([n, sv_bytes, dm_bytes, mps.memory_bytes()])
+    benchmark(lambda: MPSSimulator(24, max_bond_dimension=8).run(
+        _bound_brick(24)).memory_bytes())
+    print_table(
+        "Fig 2c (memory): bytes to represent the state",
+        ["qubits", "SV bytes", "DM bytes", "MPS bytes"],
+        rows,
+        "the SV exponential wall (~45 qubits on a full supercomputer) is "
+        "why the MPS simulator exists",
+    )
+    # MPS memory at 48 qubits is under a megabyte; SV would need petabytes
+    assert rows[-1][3] < 2 ** 20
+    assert rows[-1][1] > 2 ** 50

@@ -1,0 +1,131 @@
+"""Sec. V: protein-ligand binding energies with the frozen-field model.
+
+Paper result: E_b = E(ligand in protein) - E(ligand) for 13 ligands against
+the SARS-CoV-2 main protease; Candesartan cilexetil binds best among the
+screened drugs (-6.8 eV) until Nirmatrelvir (-7.3 eV) beats it.
+
+Offline substitution (DESIGN.md #5): 13 synthetic ligands in a frozen
+point-charge pocket.  The reproduced shape: a stable, method-consistent
+ranking with a clear strongest binder, computed through the same
+DMET/HF pipeline for both the free and the embedded ligand.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.constants import HARTREE_TO_EV
+from repro.chem.geometry import (
+    PointCharge,
+    h2,
+    hydrogen_chain,
+    hydrogen_ring,
+    lih,
+    water,
+)
+from repro.q2chem import binding_energy
+
+from conftest import print_table
+
+
+def _pocket():
+    return [
+        PointCharge(+0.40, (0.0, 4.0, 0.7)),
+        PointCharge(+0.40, (1.5, 4.2, 0.0)),
+        PointCharge(+0.25, (-1.5, 4.2, 0.0)),
+        PointCharge(-0.30, (3.5, 5.5, 0.0)),
+        PointCharge(-0.30, (-3.5, 5.5, 0.0)),
+        PointCharge(-0.20, (0.0, 7.0, 0.7)),
+    ]
+
+
+def _ligands():
+    specs = [
+        ("H2(0.70)", h2(0.70)), ("H2(eq)", h2(0.7414)),
+        ("H2(0.80)", h2(0.80)),
+        ("LiH(1.55)", lih(1.55)), ("LiH(eq)", lih(1.5949)),
+        ("LiH(1.65)", lih(1.65)),
+        ("H2O(eq)", water()), ("H2O(dist)", water(0.98, 102.0)),
+        ("H4-chain(0.9)", hydrogen_chain(4, 0.9)),
+        ("H4-chain(1.1)", hydrogen_chain(4, 1.1)),
+        ("H4-ring", hydrogen_ring(4, 1.0)),
+        ("H6-ring", hydrogen_ring(6, 1.0)),
+        ("H6-chain", hydrogen_chain(6, 1.0)),
+    ]
+    return specs
+
+
+def test_sec5_ligand_screen_hf(benchmark):
+    """The 13-ligand screen at the mean-field level."""
+    pocket = _pocket()
+    results = []
+
+    def screen_one(mol):
+        return binding_energy(mol, pocket, method="hf")
+
+    for name, mol in _ligands():
+        out = screen_one(mol)
+        results.append((name, out["binding_energy"] * HARTREE_TO_EV))
+
+    benchmark.pedantic(lambda: screen_one(h2()), rounds=1, iterations=1)
+
+    ranked = sorted(results, key=lambda r: r[1])
+    rows = [[i + 1, name, eb] for i, (name, eb) in enumerate(ranked)]
+    print_table(
+        "Sec V: frozen-field binding energies, 13 ligands (HF)",
+        ["rank", "ligand", "E_b (eV)"],
+        rows,
+        "paper: 13 ligands vs Mpro; best binder -7.3 eV (Nirmatrelvir); "
+        "reproduced: a clear ranking with one strongest binder",
+    )
+    # a clear strongest binder exists and actually binds
+    assert ranked[0][1] < 0.0
+    assert ranked[0][1] < ranked[1][1] - 1e-4
+
+
+def test_sec5_correlated_screen(benchmark):
+    """Correlated (DMET-FCI) binding energies vs the mean-field screen.
+
+    The paper's argument for quantum-mechanical screening is precisely that
+    correlation changes binding predictions where mean field is unreliable;
+    the H4 square (degenerate open shell, pathological for RHF) is our
+    in-library example.  Asserted shape: the correlated screen produces a
+    strict ranking with a genuine binder on top, agrees with HF in sign for
+    the well-behaved closed-shell ligands, and visibly re-ranks the
+    HF-pathological one.
+    """
+    pocket = _pocket()
+    subset = [lig for lig in _ligands()
+              if lig[0] in ("H2(eq)", "H2O(eq)", "H4-ring", "H6-ring")]
+
+    def both_methods(mol):
+        hf = binding_energy(mol, pocket, method="hf")["binding_energy"]
+        corr = binding_energy(mol, pocket, method="dmet-fci",
+                              atoms_per_group=2,
+                              fit_chemical_potential=False)
+        return hf, corr["binding_energy"]
+
+    rows = []
+    results = {}
+    for name, mol in subset:
+        hf, corr = both_methods(mol)
+        rows.append([name, hf * HARTREE_TO_EV, corr * HARTREE_TO_EV])
+        results[name] = (hf, corr)
+
+    benchmark.pedantic(lambda: both_methods(h2()), rounds=1, iterations=1)
+
+    print_table(
+        "Sec V: HF vs DMET-FCI binding energies (subset)",
+        ["ligand", "E_b HF (eV)", "E_b DMET-FCI (eV)"],
+        rows,
+        "correlation refines the screen; the RHF-pathological H4 square "
+        "is re-ranked, the well-behaved ligands keep their sign",
+    )
+    corr_values = sorted(v[1] for v in results.values())
+    assert corr_values[0] < 0.0                      # a real binder exists
+    assert corr_values[0] < corr_values[1] - 1e-6    # strict winner
+    for name in ("H2(eq)", "H2O(eq)"):
+        hf, corr = results[name]
+        assert np.sign(hf) == np.sign(corr)          # sign-stable ligands
+    # correlation moves the pathological case by much more than the others
+    shift = {n: abs(v[1] - v[0]) for n, v in results.items()}
+    assert shift["H4-ring"] > shift["H2(eq)"]

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""H2 dissociation: where mean field fails and VQE does not.
+
+Scans the H2 potential curve from equilibrium to dissociation.  Restricted
+Hartree-Fock overbinds catastrophically at stretch (the classic static-
+correlation failure); UCCSD-VQE tracks FCI everywhere.  This is the
+textbook motivation for quantum computational chemistry that the paper's
+introduction leans on.
+
+Usage:  python examples/h2_dissociation.py [n_points]
+"""
+
+import sys
+
+from repro.chem.geometry import h2
+from repro.q2chem import Q2Chemistry
+
+
+def main() -> None:
+    n_points = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    bonds = [0.5 + 2.5 * i / (n_points - 1) for i in range(n_points)]
+
+    print("H2/STO-3G dissociation curve")
+    print(f"{'r(A)':>6} {'RHF':>12} {'FCI':>12} {'VQE':>12} "
+          f"{'RHF err':>10} {'VQE err':>10}")
+    for r in bonds:
+        job = Q2Chemistry.from_molecule(h2(r))
+        e_hf = job.hartree_fock_energy()
+        e_fci = job.fci_energy()
+        e_vqe = job.vqe_energy(simulator="fast").energy
+        print(f"{r:6.2f} {e_hf:12.6f} {e_fci:12.6f} {e_vqe:12.6f} "
+              f"{e_hf - e_fci:10.6f} {e_vqe - e_fci:10.2e}")
+    print("\nRHF's error grows without bound at dissociation "
+          "(static correlation); UCCSD-VQE stays exact for 2 electrons.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""DMET-MPS-VQE on hydrogen rings: the paper's Fig. 7(a) workload.
+
+Scans the potential energy curve of an H_n ring, comparing
+
+* full FCI (exact, for validation),
+* DMET with exact fragment solvers,
+* DMET with UCCSD-VQE fragment solvers (the paper's DMET-MPS-VQE),
+
+with two-atom fragments, exactly as in the paper ("the hydrogen atoms are
+divided into fragments with two atoms").  Relative errors stay inside the
+paper's <0.5% band.
+
+Usage:  python examples/hydrogen_ring_dmet.py [n_atoms] [n_points]
+"""
+
+import sys
+
+from repro.chem.geometry import hydrogen_ring
+from repro.q2chem import Q2Chemistry
+
+
+def main() -> None:
+    n_atoms = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    n_points = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    bonds = [0.7 + 0.15 * i for i in range(n_points)]
+    print(f"H{n_atoms} ring potential curve, STO-3G, 2-atom DMET fragments")
+    print(f"{'r(A)':>6} {'FCI':>14} {'DMET-FCI':>14} {'DMET-VQE':>14} "
+          f"{'err%':>7}")
+    for r in bonds:
+        job = Q2Chemistry.from_molecule(hydrogen_ring(n_atoms, r))
+        e_fci = job.fci_energy()
+        dmet_fci = job.dmet_energy(atoms_per_group=2, solver="fci",
+                                   all_fragments_equivalent=True)
+        dmet_vqe = job.dmet_energy(atoms_per_group=2, solver="vqe-fast",
+                                   all_fragments_equivalent=True,
+                                   vqe_tolerance=1e-9)
+        rel = abs((dmet_vqe.energy - e_fci) / e_fci) * 100
+        print(f"{r:6.2f} {e_fci:14.6f} {dmet_fci.energy:14.6f} "
+              f"{dmet_vqe.energy:14.6f} {rel:7.3f}")
+    print("\n(paper Fig. 7a: DMET-MPS-VQE tracks FCI within 0.5%)")
+
+
+if __name__ == "__main__":
+    main()

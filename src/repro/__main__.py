@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+energy      RHF / CCSD / FCI / VQE / DMET energies of a molecule
+scaling     replay the paper's strong/weak scaling (Figs. 12-13)
+info        system inventory: basis functions, qubits, Pauli strings
+
+Examples
+--------
+    python -m repro energy --molecule h2 --method vqe
+    python -m repro energy --molecule ring:6 --method dmet-vqe --fragment-atoms 2
+    python -m repro energy --xyz geom.xyz --method fci
+    python -m repro scaling --mode strong
+    python -m repro info --molecule h2o
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.errors import ReproError
+
+
+def _build_molecule(args):
+    from repro.chem import geometry
+
+    if args.xyz:
+        with open(args.xyz) as fh:
+            return geometry.Molecule.from_xyz(fh.read(), charge=args.charge)
+    spec = args.molecule.lower()
+    if spec == "h2":
+        return geometry.h2(args.bond or 0.7414)
+    if spec == "lih":
+        return geometry.lih(args.bond or 1.5949)
+    if spec in ("h2o", "water"):
+        return geometry.water()
+    if spec.startswith("ring:"):
+        return geometry.hydrogen_ring(int(spec.split(":")[1]),
+                                      args.bond or 1.0)
+    if spec.startswith("chain:"):
+        return geometry.hydrogen_chain(int(spec.split(":")[1]),
+                                       args.bond or 1.0)
+    raise ReproError(
+        f"unknown molecule spec {args.molecule!r}; use h2 | lih | h2o | "
+        "ring:N | chain:N or --xyz FILE"
+    )
+
+
+def cmd_energy(args) -> int:
+    """Run the requested energy method and print the result."""
+    from repro.q2chem import Q2Chemistry
+
+    molecule = _build_molecule(args)
+    job = Q2Chemistry.from_molecule(molecule, basis=args.basis,
+                                    frozen_core=args.frozen_core)
+    method = args.method.lower()
+    print(f"{molecule.name or 'molecule'} / {args.basis}: "
+          f"{molecule.n_electrons} electrons, "
+          f"{job.mo_integrals.n_qubits} qubits")
+    if method == "hf":
+        print(f"E(RHF)  = {job.hartree_fock_energy():+.8f} Ha")
+    elif method == "ccsd":
+        print(f"E(CCSD) = {job.ccsd_energy():+.8f} Ha")
+    elif method == "fci":
+        print(f"E(FCI)  = {job.fci_energy():+.8f} Ha")
+    elif method == "vqe":
+        res = job.vqe_energy(simulator=args.simulator,
+                             max_bond_dimension=args.bond_dimension)
+        print(f"E(VQE)  = {res.energy:+.8f} Ha "
+              f"({res.n_evaluations} evaluations, {res.optimizer})")
+    elif method.startswith("dmet"):
+        solver = {"dmet": "fci", "dmet-fci": "fci",
+                  "dmet-vqe": "vqe-fast"}.get(method)
+        if solver is None:
+            raise ReproError(f"unknown method {args.method!r}")
+        res = job.dmet_energy(atoms_per_group=args.fragment_atoms,
+                              solver=solver,
+                              all_fragments_equivalent=args.equivalent)
+        print(f"E(DMET) = {res.energy:+.8f} Ha "
+              f"(mu={res.chemical_potential:+.5f}, "
+              f"{res.mu_iterations} mu iterations, "
+              f"max fragment {res.max_fragment_qubits()} qubits)")
+    else:
+        raise ReproError(f"unknown method {args.method!r}")
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    """Replay the paper's strong/weak scaling curves."""
+    from repro.parallel.perfmodel import CircuitCostModel, ScalingExperiment
+
+    if args.calibrate:
+        cost = CircuitCostModel.calibrate(bond_dimension=16,
+                                          qubit_sizes=(8, 12, 16))
+        exp = ScalingExperiment(cost_model=cost)
+    else:
+        exp = ScalingExperiment()
+    if args.mode in ("strong", "both"):
+        print("strong scaling (paper Fig. 12):")
+        for p in exp.strong_scaling():
+            print(f"  {p.n_processes:>7,} procs {p.n_cores:>11,} cores  "
+                  f"speedup {p.speedup:6.2f}  eff {p.efficiency*100:5.1f}%")
+    if args.mode in ("weak", "both"):
+        print("weak scaling (paper Fig. 13):")
+        for p in exp.weak_scaling():
+            print(f"  {p.n_processes:>7,} procs {p.n_fragments*2:>5} atoms  "
+                  f"eff {p.efficiency*100:5.1f}%")
+    return 0
+
+
+def cmd_info(args) -> int:
+    """Print the molecule's qubit/Pauli/ansatz inventory."""
+    from repro.q2chem import Q2Chemistry
+
+    molecule = _build_molecule(args)
+    job = Q2Chemistry.from_molecule(molecule, basis=args.basis,
+                                    frozen_core=args.frozen_core)
+    mo = job.mo_integrals
+    ham = job.qubit_hamiltonian()
+    from repro.circuits.uccsd import UCCSDAnsatz
+
+    ansatz = UCCSDAnsatz(mo.n_orbitals, mo.n_electrons)
+    circ = ansatz.circuit()
+    print(f"molecule        : {molecule.name or '(unnamed)'}")
+    print(f"atoms/electrons : {molecule.n_atoms} / {molecule.n_electrons}")
+    print(f"basis           : {args.basis} ({job.scf.n_ao} AOs)")
+    print(f"active space    : {mo.n_orbitals} orbitals, "
+          f"{mo.n_electrons} electrons")
+    print(f"qubits          : {mo.n_qubits}")
+    print(f"Pauli strings   : {len(ham)}  (O(N^4) law, cf. paper Fig. 5)")
+    print(f"UCCSD           : {ansatz.n_parameters} parameters, "
+          f"{len(circ)} gates ({circ.n_two_qubit_gates()} two-qubit)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Q2Chemistry reproduction: quantum computational "
+                    "chemistry with MPS-VQE and DMET",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_molecule_args(p):
+        p.add_argument("--molecule", default="h2",
+                       help="h2 | lih | h2o | ring:N | chain:N")
+        p.add_argument("--xyz", help="XYZ geometry file")
+        p.add_argument("--bond", type=float, default=None,
+                       help="bond length override (angstrom)")
+        p.add_argument("--charge", type=int, default=0)
+        p.add_argument("--basis", default="sto-3g")
+        p.add_argument("--frozen-core", type=int, default=0)
+
+    pe = sub.add_parser("energy", help="compute ground-state energies")
+    add_molecule_args(pe)
+    pe.add_argument("--method", default="vqe",
+                    help="hf | ccsd | fci | vqe | dmet-fci | dmet-vqe")
+    pe.add_argument("--simulator", default="fast",
+                    help="fast | mps | statevector (vqe only)")
+    pe.add_argument("--bond-dimension", type=int, default=None)
+    pe.add_argument("--fragment-atoms", type=int, default=2)
+    pe.add_argument("--equivalent", action="store_true",
+                    help="treat all fragments as symmetry equivalent")
+    pe.set_defaults(func=cmd_energy)
+
+    ps = sub.add_parser("scaling", help="replay the Sunway scaling runs")
+    ps.add_argument("--mode", default="both",
+                    choices=["strong", "weak", "both"])
+    ps.add_argument("--calibrate", action="store_true",
+                    help="calibrate kernel costs on this machine first")
+    ps.set_defaults(func=cmd_scaling)
+
+    pi = sub.add_parser("info", help="print the system inventory")
+    add_molecule_args(pi)
+    pi.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

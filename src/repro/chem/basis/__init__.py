@@ -1,0 +1,183 @@
+"""Gaussian basis sets.
+
+A :class:`BasisShell` is a contracted Cartesian Gaussian shell; a
+:class:`BasisSet` is the list of shells for a molecule plus the bookkeeping
+that maps shells to atomic-orbital (AO) indices.  Contraction coefficients in
+:mod:`repro.chem.basis.data` refer to *normalized primitives* (the standard
+EMSL convention); :func:`BasisShell.normalized_coefficients` folds both the
+primitive norms and the contracted-function normalization into a single
+coefficient vector per Cartesian component.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.chem.geometry import Molecule
+from repro.chem.basis.data import BASIS_LIBRARY
+
+#: Angular momentum letter per L value.
+SHELL_LETTERS = "spdfg"
+
+
+def cartesian_components(l: int) -> list[tuple[int, int, int]]:
+    """Cartesian powers (lx, ly, lz) of an L shell in canonical order.
+
+    s -> [(0,0,0)], p -> x,y,z, d -> xx,xy,xz,yy,yz,zz, ...
+    """
+    comps = []
+    for lx in range(l, -1, -1):
+        for ly in range(l - lx, -1, -1):
+            comps.append((lx, ly, l - lx - ly))
+    return comps
+
+
+def _double_factorial(n: int) -> int:
+    """(n)!! with the convention (-1)!! = 1."""
+    if n <= 0:
+        return 1
+    out = 1
+    while n > 1:
+        out *= n
+        n -= 2
+    return out
+
+
+def primitive_norm(alpha: float, lx: int, ly: int, lz: int) -> float:
+    """Normalization constant of x^lx y^ly z^lz exp(-alpha r^2)."""
+    l = lx + ly + lz
+    num = (2.0 * alpha / math.pi) ** 0.75 * (4.0 * alpha) ** (l / 2.0)
+    den = math.sqrt(
+        _double_factorial(2 * lx - 1)
+        * _double_factorial(2 * ly - 1)
+        * _double_factorial(2 * lz - 1)
+    )
+    return num / den
+
+
+@dataclass(frozen=True)
+class BasisShell:
+    """A contracted Cartesian Gaussian shell on one center.
+
+    Attributes
+    ----------
+    l:
+        Angular momentum (0=s, 1=p, 2=d...).
+    center:
+        Cartesian center in Bohr.
+    exponents / coefficients:
+        Primitive exponents and contraction coefficients (the latter in the
+        normalized-primitive convention).
+    atom_index:
+        Index of the atom this shell sits on (for fragment bookkeeping).
+    """
+
+    l: int
+    center: tuple[float, float, float]
+    exponents: tuple[float, ...]
+    coefficients: tuple[float, ...]
+    atom_index: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.exponents) != len(self.coefficients):
+            raise ValidationError("exponent/coefficient length mismatch")
+        if self.l < 0 or self.l >= len(SHELL_LETTERS):
+            raise ValidationError(f"unsupported angular momentum l={self.l}")
+        if any(a <= 0 for a in self.exponents):
+            raise ValidationError("exponents must be positive")
+
+    @property
+    def n_components(self) -> int:
+        """Number of Cartesian components: (l+1)(l+2)/2."""
+        return (self.l + 1) * (self.l + 2) // 2
+
+    @property
+    def components(self) -> list[tuple[int, int, int]]:
+        return cartesian_components(self.l)
+
+    def normalized_coefficients(self, lx: int, ly: int, lz: int) -> np.ndarray:
+        """Full contraction coefficients for component (lx,ly,lz).
+
+        Includes primitive norms and the contracted-function normalization
+        (which is component-independent, so one rescale serves the shell).
+        """
+        alphas = np.asarray(self.exponents)
+        coefs = np.asarray(self.coefficients, dtype=float)
+        norms = np.array([primitive_norm(a, lx, ly, lz) for a in alphas])
+        c = coefs * norms
+        # contracted self-overlap of the (l,0,0) reference component; the
+        # double-factorial factors cancel against the primitive norms so this
+        # value is the same for every component of the shell
+        l = self.l
+        ref = np.array([primitive_norm(a, l, 0, 0) for a in alphas])
+        cr = coefs * ref
+        pa = alphas[:, None] + alphas[None, :]
+        s = (np.pi / pa) ** 1.5 * _double_factorial(2 * l - 1) / (2.0 * pa) ** l
+        self_ovlp = float(cr @ s @ cr)
+        return c / math.sqrt(self_ovlp)
+
+
+@dataclass
+class BasisSet:
+    """All shells of a molecule plus AO indexing."""
+
+    shells: list[BasisShell]
+    name: str = ""
+    #: per-AO metadata: (shell index, lx, ly, lz, atom index)
+    ao_labels: list[tuple[int, int, int, int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.ao_labels:
+            for si, shell in enumerate(self.shells):
+                for (lx, ly, lz) in shell.components:
+                    self.ao_labels.append((si, lx, ly, lz, shell.atom_index))
+
+    @property
+    def n_ao(self) -> int:
+        return len(self.ao_labels)
+
+    def aos_on_atom(self, atom_index: int) -> list[int]:
+        """AO indices centred on ``atom_index`` (used by DMET fragmentation)."""
+        return [i for i, lab in enumerate(self.ao_labels) if lab[4] == atom_index]
+
+    def ao_shell(self, ao: int) -> BasisShell:
+        return self.shells[self.ao_labels[ao][0]]
+
+    def ao_powers(self, ao: int) -> tuple[int, int, int]:
+        _, lx, ly, lz, _ = self.ao_labels[ao]
+        return (lx, ly, lz)
+
+    def max_l(self) -> int:
+        return max(sh.l for sh in self.shells)
+
+
+def get_basis(molecule: Molecule, name: str = "sto-3g") -> BasisSet:
+    """Build the :class:`BasisSet` for a molecule from the embedded library."""
+    key = name.strip().lower()
+    if key not in BASIS_LIBRARY:
+        raise ValidationError(
+            f"unknown basis {name!r}; available: {sorted(BASIS_LIBRARY)}"
+        )
+    table = BASIS_LIBRARY[key]
+    shells: list[BasisShell] = []
+    for ai, atom in enumerate(molecule.atoms):
+        sym = atom.symbol.capitalize()
+        if sym not in table:
+            raise ValidationError(
+                f"basis {name!r} has no data for element {sym!r}"
+            )
+        for (l, exps, coefs) in table[sym]:
+            shells.append(
+                BasisShell(
+                    l=l,
+                    center=atom.position,
+                    exponents=tuple(exps),
+                    coefficients=tuple(coefs),
+                    atom_index=ai,
+                )
+            )
+    return BasisSet(shells=shells, name=key)

@@ -1,0 +1,453 @@
+"""Gaussian integrals via the McMurchie-Davidson scheme.
+
+Implements overlap, kinetic, nuclear-attraction (including external point
+charges) and electron-repulsion integrals for contracted Cartesian Gaussians
+of arbitrary angular momentum.  All primitive loops are vectorized over the
+primitive grids of a shell pair / quartet; an additional fully-vectorized
+fast path handles all-s bases (the hydrogen chains and rings that dominate
+the paper's workloads) with one :func:`numpy.add.reduceat` segment reduction
+per bra pair.
+
+Conventions: ERIs are returned in chemists' notation ``(ij|kl)``; all
+quantities are in atomic units.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special as _sps
+
+from repro.common.errors import ValidationError
+from repro.chem.geometry import Molecule
+from repro.chem.basis import BasisSet
+
+
+# ---------------------------------------------------------------------------
+# Boys function
+# ---------------------------------------------------------------------------
+
+def boys(m_max: int, x: np.ndarray) -> np.ndarray:
+    """Boys functions F_0..F_{m_max} evaluated at ``x`` (elementwise).
+
+    Returns an array of shape ``(m_max+1, *x.shape)``.  Uses the regularized
+    lower incomplete gamma function for the highest order and stable downward
+    recursion below, with a Taylor series close to zero.
+    """
+    x = np.asarray(x, dtype=float)
+    scalar = x.ndim == 0
+    x = np.atleast_1d(x)
+    out = np.empty((m_max + 1,) + x.shape)
+    a = m_max + 0.5
+    tiny = x < 1e-12
+    xs = np.where(tiny, 1.0, x)  # avoid 0**a warnings
+    fm = 0.5 * _sps.gamma(a) * _sps.gammainc(a, xs) / xs ** a
+    # series F_m(x) = sum_k (-x)^k / (k! (2m+2k+1)) near 0
+    series = np.zeros_like(x)
+    term = np.ones_like(x)
+    for k in range(6):
+        series += term / (2 * m_max + 2 * k + 1)
+        term *= -x / (k + 1)
+    out[m_max] = np.where(tiny, series, fm)
+    ex = np.exp(-x)
+    for m in range(m_max - 1, -1, -1):
+        out[m] = (2.0 * x * out[m + 1] + ex) / (2 * m + 1)
+    if scalar:
+        return out[:, 0]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Hermite expansion coefficients E_t^{ij}
+# ---------------------------------------------------------------------------
+
+def hermite_coefficients(i: int, j: int, qx: float,
+                         a: np.ndarray, b: np.ndarray) -> list[np.ndarray]:
+    """E_t^{ij} for t = 0..i+j, vectorized over primitive grids a (na,1), b (1,nb).
+
+    ``qx = Ax - Bx`` is the center separation along one Cartesian direction.
+    Returns a list of arrays broadcastable to (na, nb).
+    """
+    p = a + b
+    mu = a * b / p
+    memo: dict[tuple[int, int, int], np.ndarray] = {}
+
+    def e(ii: int, jj: int, t: int) -> np.ndarray:
+        if t < 0 or t > ii + jj or ii < 0 or jj < 0:
+            return np.zeros_like(p)
+        key = (ii, jj, t)
+        if key in memo:
+            return memo[key]
+        if ii == jj == t == 0:
+            val = np.exp(-mu * qx * qx) * np.ones_like(p)
+        elif jj == 0:
+            val = (e(ii - 1, 0, t - 1) / (2.0 * p)
+                   - (mu * qx / a) * e(ii - 1, 0, t)
+                   + (t + 1) * e(ii - 1, 0, t + 1))
+        else:
+            val = (e(ii, jj - 1, t - 1) / (2.0 * p)
+                   + (mu * qx / b) * e(ii, jj - 1, t)
+                   + (t + 1) * e(ii, jj - 1, t + 1))
+        memo[key] = val
+        return val
+
+    return [e(i, j, t) for t in range(i + j + 1)]
+
+
+def hermite_r_tensor(tmax: int, umax: int, vmax: int, p: np.ndarray,
+                     pc: np.ndarray) -> dict[tuple[int, int, int], np.ndarray]:
+    """Hermite Coulomb integrals R_{tuv} for all t<=tmax, u<=umax, v<=vmax.
+
+    ``p`` is the (combined) exponent array and ``pc`` the center displacement
+    with shape ``(*p.shape, 3)``.  Returns arrays shaped like ``p``.
+    """
+    r2 = np.sum(pc * pc, axis=-1)
+    nmax = tmax + umax + vmax
+    fn = boys(nmax, p * r2)  # (nmax+1, *shape)
+    base = {}
+    mp = -2.0 * p
+    scale = np.ones_like(p)
+    for n in range(nmax + 1):
+        base[n] = scale * fn[n]
+        scale = scale * mp
+
+    memo: dict[tuple[int, int, int, int], np.ndarray] = {}
+
+    def r(t: int, u: int, v: int, n: int) -> np.ndarray:
+        if t < 0 or u < 0 or v < 0:
+            return np.zeros_like(p)
+        key = (t, u, v, n)
+        if key in memo:
+            return memo[key]
+        if t == u == v == 0:
+            val = base[n]
+        elif t > 0:
+            val = (t - 1) * r(t - 2, u, v, n + 1) + pc[..., 0] * r(t - 1, u, v, n + 1)
+        elif u > 0:
+            val = (u - 1) * r(t, u - 2, v, n + 1) + pc[..., 1] * r(t, u - 1, v, n + 1)
+        else:
+            val = (v - 1) * r(t, u, v - 2, n + 1) + pc[..., 2] * r(t, u, v - 1, n + 1)
+        memo[key] = val
+        return val
+
+    return {(t, u, v): r(t, u, v, 0)
+            for t in range(tmax + 1)
+            for u in range(umax + 1)
+            for v in range(vmax + 1)}
+
+
+# ---------------------------------------------------------------------------
+# Integral engine
+# ---------------------------------------------------------------------------
+
+class IntegralEngine:
+    """Computes AO integrals for a (molecule, basis set) pair.
+
+    Results are cached: each public method computes once and re-serves the
+    stored array (callers must not mutate them in place).
+    """
+
+    def __init__(self, molecule: Molecule, basis: BasisSet, *,
+                 screening_threshold: float = 0.0):
+        self.molecule = molecule
+        self.basis = basis
+        #: Cauchy-Schwarz ERI screening: quartets with
+        #: sqrt((ij|ij)) * sqrt((kl|kl)) below this bound are skipped.
+        #: 0.0 disables screening (exact tensors).
+        self.screening_threshold = screening_threshold
+        self.screened_quartets = 0
+        self._cache: dict[str, np.ndarray] = {}
+        # per-AO primitive data
+        self._alphas: list[np.ndarray] = []
+        self._coefs: list[np.ndarray] = []
+        self._centers: list[np.ndarray] = []
+        self._powers: list[tuple[int, int, int]] = []
+        for ao in range(basis.n_ao):
+            shell = basis.ao_shell(ao)
+            lx, ly, lz = basis.ao_powers(ao)
+            self._alphas.append(np.asarray(shell.exponents, dtype=float))
+            self._coefs.append(shell.normalized_coefficients(lx, ly, lz))
+            self._centers.append(np.asarray(shell.center, dtype=float))
+            self._powers.append((lx, ly, lz))
+        self._pair_cache: dict[tuple[int, int], dict] = {}
+
+    # -- pair data ---------------------------------------------------------
+
+    def _pair(self, i: int, j: int) -> dict:
+        """Primitive-grid data for an AO pair (cached)."""
+        key = (i, j)
+        hit = self._pair_cache.get(key)
+        if hit is not None:
+            return hit
+        a = self._alphas[i][:, None]
+        b = self._alphas[j][None, :]
+        p = a + b
+        A, B = self._centers[i], self._centers[j]
+        P = (a[..., None] * A + b[..., None] * B) / p[..., None]
+        li, lj = self._powers[i], self._powers[j]
+        ex = hermite_coefficients(li[0], lj[0], A[0] - B[0], a, b)
+        ey = hermite_coefficients(li[1], lj[1], A[1] - B[1], a, b)
+        ez = hermite_coefficients(li[2], lj[2], A[2] - B[2], a, b)
+        cc = self._coefs[i][:, None] * self._coefs[j][None, :]
+        data = {"a": a, "b": b, "p": p, "P": P, "ex": ex, "ey": ey, "ez": ez,
+                "cc": cc, "li": li, "lj": lj}
+        self._pair_cache[key] = data
+        return data
+
+    # -- one-electron integrals ---------------------------------------------
+
+    def overlap(self) -> np.ndarray:
+        """AO overlap matrix S."""
+        if "S" in self._cache:
+            return self._cache["S"]
+        n = self.basis.n_ao
+        s = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1):
+                d = self._pair(i, j)
+                val = (d["cc"] * d["ex"][0] * d["ey"][0] * d["ez"][0]
+                       * (np.pi / d["p"]) ** 1.5).sum()
+                s[i, j] = s[j, i] = val
+        self._cache["S"] = s
+        return s
+
+    def kinetic(self) -> np.ndarray:
+        """AO kinetic-energy matrix T."""
+        if "T" in self._cache:
+            return self._cache["T"]
+        n = self.basis.n_ao
+        t = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1):
+                t[i, j] = t[j, i] = self._kinetic_element(i, j)
+        self._cache["T"] = t
+        return t
+
+    def _kinetic_element(self, i: int, j: int) -> float:
+        d = self._pair(i, j)
+        a, b, p = d["a"], d["b"], d["p"]
+        A, B = self._centers[i], self._centers[j]
+        li, lj = d["li"], d["lj"]
+        sqrt_pi_p = np.sqrt(np.pi / p)
+
+        def s1d(axis: int, jx: int) -> np.ndarray:
+            """1D overlap with the ket power shifted to jx (>= 0 required)."""
+            if jx < 0:
+                return np.zeros_like(p)
+            e = hermite_coefficients(li[axis], jx, A[axis] - B[axis], a, b)
+            return e[0] * sqrt_pi_p
+
+        sx = [s1d(0, lj[0]), s1d(1, lj[1]), s1d(2, lj[2])]
+        tx = []
+        for axis in range(3):
+            jx = lj[axis]
+            term = (-2.0 * b * b * s1d(axis, jx + 2)
+                    + b * (2 * jx + 1) * sx[axis])
+            if jx >= 2:
+                term = term - 0.5 * jx * (jx - 1) * s1d(axis, jx - 2)
+            tx.append(term)
+        val = (d["cc"] * (tx[0] * sx[1] * sx[2]
+                          + sx[0] * tx[1] * sx[2]
+                          + sx[0] * sx[1] * tx[2])).sum()
+        return float(val)
+
+    def nuclear_attraction(self) -> np.ndarray:
+        """AO nuclear-attraction matrix V (negative), including point charges."""
+        if "V" in self._cache:
+            return self._cache["V"]
+        n = self.basis.n_ao
+        centers = [np.asarray(a.position, dtype=float)
+                   for a in self.molecule.atoms]
+        charges = [float(a.z) for a in self.molecule.atoms]
+        centers += [np.asarray(pc.position, dtype=float)
+                    for pc in self.molecule.point_charges]
+        charges += [pc.charge for pc in self.molecule.point_charges]
+        v = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1):
+                d = self._pair(i, j)
+                li, lj = d["li"], d["lj"]
+                tmax = li[0] + lj[0]
+                umax = li[1] + lj[1]
+                vmax = li[2] + lj[2]
+                p, P = d["p"], d["P"]
+                acc = 0.0
+                for C, Z in zip(centers, charges):
+                    rt = hermite_r_tensor(tmax, umax, vmax, p, P - C)
+                    g = np.zeros_like(p)
+                    for tt in range(tmax + 1):
+                        for uu in range(umax + 1):
+                            for vv in range(vmax + 1):
+                                g = g + (d["ex"][tt] * d["ey"][uu]
+                                         * d["ez"][vv] * rt[(tt, uu, vv)])
+                    acc += -Z * float((d["cc"] * 2.0 * np.pi / p * g).sum())
+                v[i, j] = v[j, i] = acc
+        self._cache["V"] = v
+        return v
+
+    def core_hamiltonian(self) -> np.ndarray:
+        """h = T + V."""
+        return self.kinetic() + self.nuclear_attraction()
+
+    def dipole(self) -> np.ndarray:
+        """Electric-dipole AO integrals: (3, n, n) array of <a| r_c |b>.
+
+        Uses the Hermite-moment identity int x Lambda_t dx =
+        sqrt(pi/p) (P_x delta_t0 + delta_t1): the first moment needs only
+        E_0, E_1 and the Gaussian product center P.
+        """
+        if "DIP" in self._cache:
+            return self._cache["DIP"]
+        n = self.basis.n_ao
+        out = np.zeros((3, n, n))
+        for i in range(n):
+            for j in range(i + 1):
+                d = self._pair(i, j)
+                p = d["p"]
+                pref = (np.pi / p) ** 1.5
+                e0 = [d["ex"][0], d["ey"][0], d["ez"][0]]
+                for axis in range(3):
+                    li, lj = d["li"][axis], d["lj"][axis]
+                    e_ax = d["ex" if axis == 0 else "ey" if axis == 1
+                             else "ez"]
+                    e1 = e_ax[1] if li + lj >= 1 else np.zeros_like(p)
+                    moment = e1 + d["P"][..., axis] * e_ax[0]
+                    others = [e0[a] for a in range(3) if a != axis]
+                    val = (d["cc"] * moment * others[0] * others[1]
+                           * pref).sum()
+                    out[axis, i, j] = out[axis, j, i] = val
+        self._cache["DIP"] = out
+        return out
+
+    # -- two-electron integrals ----------------------------------------------
+
+    def eri(self) -> np.ndarray:
+        """Full ERI tensor (ij|kl) in chemists' notation, 8-fold symmetric."""
+        if "ERI" in self._cache:
+            return self._cache["ERI"]
+        if self.basis.max_l() == 0:
+            out = self._eri_s_only()
+        else:
+            out = self._eri_general()
+        self._cache["ERI"] = out
+        return out
+
+    def _eri_general(self) -> np.ndarray:
+        n = self.basis.n_ao
+        eri = np.zeros((n, n, n, n))
+        pairs = [(i, j) for i in range(n) for j in range(i + 1)]
+        tau = self.screening_threshold
+        if tau > 0.0:
+            # Cauchy-Schwarz bounds: |(ij|kl)| <= sqrt((ij|ij)(kl|kl))
+            q = {p: np.sqrt(max(0.0, self._eri_element(*p, *p)))
+                 for p in pairs}
+        self.screened_quartets = 0
+        for pi, (i, j) in enumerate(pairs):
+            for (k, l) in pairs[: pi + 1]:
+                if tau > 0.0 and q[(i, j)] * q[(k, l)] < tau:
+                    self.screened_quartets += 1
+                    continue
+                val = self._eri_element(i, j, k, l)
+                for (x, y) in ((i, j), (j, i)):
+                    for (z, w) in ((k, l), (l, k)):
+                        eri[x, y, z, w] = val
+                        eri[z, w, x, y] = val
+        return eri
+
+    def _eri_element(self, i: int, j: int, k: int, l: int) -> float:
+        bra = self._pair(i, j)
+        ket = self._pair(k, l)
+        li, lj = bra["li"], bra["lj"]
+        lk, ll = ket["li"], ket["lj"]
+        t1, u1, v1 = li[0] + lj[0], li[1] + lj[1], li[2] + lj[2]
+        t2, u2, v2 = lk[0] + ll[0], lk[1] + ll[1], lk[2] + ll[2]
+        p = bra["p"].ravel()
+        q = ket["p"].ravel()
+        P = bra["P"].reshape(-1, 3)
+        Q = ket["P"].reshape(-1, 3)
+        m, kk = p.size, q.size
+        alpha = p[:, None] * q[None, :] / (p[:, None] + q[None, :])
+        pq = P[:, None, :] - Q[None, :, :]
+        rt = hermite_r_tensor(t1 + t2, u1 + u2, v1 + v2, alpha, pq)
+        ebra = {}
+        for tt in range(t1 + 1):
+            for uu in range(u1 + 1):
+                for vv in range(v1 + 1):
+                    ebra[(tt, uu, vv)] = (bra["ex"][tt] * bra["ey"][uu]
+                                          * bra["ez"][vv]).ravel()
+        eket = {}
+        for tt in range(t2 + 1):
+            for uu in range(u2 + 1):
+                for vv in range(v2 + 1):
+                    sign = (-1.0) ** (tt + uu + vv)
+                    eket[(tt, uu, vv)] = sign * (ket["ex"][tt] * ket["ey"][uu]
+                                                 * ket["ez"][vv]).ravel()
+        g = np.zeros((m, kk))
+        for (tb, ub, vb), eb in ebra.items():
+            acc = np.zeros((m, kk))
+            for (tk, uk, vk), ek in eket.items():
+                acc += ek[None, :] * rt[(tb + tk, ub + uk, vb + vk)]
+            g += eb[:, None] * acc
+        pref = (2.0 * np.pi ** 2.5
+                / (p[:, None] * q[None, :] * np.sqrt(p[:, None] + q[None, :])))
+        cc = bra["cc"].ravel()[:, None] * ket["cc"].ravel()[None, :]
+        return float((cc * pref * g).sum())
+
+    def _eri_s_only(self) -> np.ndarray:
+        """Vectorized ERI path for bases containing only s functions.
+
+        For s shells every Hermite expansion collapses to the pair Gaussian
+        prefactor, so (ij|kl) reduces to a single Boys F0 per primitive
+        quartet; we flatten all ket-pair primitives into one array and reduce
+        per bra pair with ``np.add.reduceat``.
+        """
+        n = self.basis.n_ao
+        pairs = [(i, j) for i in range(n) for j in range(i + 1)]
+        # flatten primitive data of every pair
+        p_all, P_all, c_all, offsets = [], [], [], [0]
+        for (i, j) in pairs:
+            d = self._pair(i, j)
+            p = d["p"].ravel()
+            P = d["P"].reshape(-1, 3)
+            kfac = (d["ex"][0] * d["ey"][0] * d["ez"][0]).ravel()
+            c = d["cc"].ravel() * kfac
+            p_all.append(p)
+            P_all.append(P)
+            c_all.append(c)
+            offsets.append(offsets[-1] + p.size)
+        pf = np.concatenate(p_all)
+        Pf = np.concatenate(P_all, axis=0)
+        cf = np.concatenate(c_all)
+        starts = np.asarray(offsets[:-1])
+        eri = np.zeros((n, n, n, n))
+        npair = len(pairs)
+        for bi, (i, j) in enumerate(pairs):
+            pb = p_all[bi][:, None]
+            Pb = P_all[bi][:, None, :]
+            cb = c_all[bi][:, None]
+            psum = pb + pf[None, :]
+            alpha = pb * pf[None, :] / psum
+            r2 = np.sum((Pb - Pf[None, :, :]) ** 2, axis=-1)
+            f0 = boys(0, alpha * r2)[0]
+            contrib = (cb * cf[None, :] * 2.0 * np.pi ** 2.5
+                       / (pb * pf[None, :] * np.sqrt(psum)) * f0)
+            per_prim = contrib.sum(axis=0)
+            per_pair = np.add.reduceat(per_prim, starts)
+            for ki in range(npair):
+                if ki > bi:
+                    break
+                k, l = pairs[ki]
+                val = per_pair[ki]
+                for (x, y) in ((i, j), (j, i)):
+                    for (z, w) in ((k, l), (l, k)):
+                        eri[x, y, z, w] = val
+                        eri[z, w, x, y] = val
+        return eri
+
+    # -- convenience ---------------------------------------------------------
+
+    def all_integrals(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Return (S, h_core, ERI, E_nuclear)."""
+        return (self.overlap(), self.core_hamiltonian(), self.eri(),
+                self.molecule.nuclear_repulsion())

@@ -1,0 +1,200 @@
+"""Restricted Hartree-Fock with DIIS convergence acceleration.
+
+This is the "low-level calculation for the whole system" of the paper's DMET
+procedure (Sec. III-B step 1) and the provider of the molecular-orbital basis
+for every VQE Hamiltonian.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import linalg as sla
+
+from repro.common.errors import ConvergenceError, ValidationError
+from repro.chem.geometry import Molecule
+from repro.chem.basis import BasisSet, get_basis
+from repro.chem.integrals import IntegralEngine
+
+
+@dataclass
+class SCFResult:
+    """Converged RHF state.
+
+    Attributes
+    ----------
+    energy:
+        Total RHF energy (electronic + nuclear, Hartree).
+    mo_coefficients:
+        (n_ao, n_mo) MO coefficient matrix C.
+    mo_energies:
+        Orbital energies.
+    density:
+        Spin-summed AO density matrix D = 2 C_occ C_occ^T.
+    n_occupied:
+        Number of doubly-occupied spatial orbitals.
+    iterations:
+        SCF iterations used.
+    converged:
+        Always True for returned results (failure raises).
+    """
+
+    energy: float
+    mo_coefficients: np.ndarray
+    mo_energies: np.ndarray
+    density: np.ndarray
+    fock: np.ndarray
+    overlap: np.ndarray
+    core_hamiltonian: np.ndarray
+    nuclear_repulsion: float
+    n_occupied: int
+    iterations: int
+    converged: bool = True
+
+    @property
+    def n_ao(self) -> int:
+        return self.mo_coefficients.shape[0]
+
+    @property
+    def n_mo(self) -> int:
+        return self.mo_coefficients.shape[1]
+
+
+def build_jk(eri: np.ndarray, density: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Coulomb J and exchange K matrices from the AO ERI (chemists') and D."""
+    j = np.einsum("pqrs,rs->pq", eri, density, optimize=True)
+    k = np.einsum("prqs,rs->pq", eri, density, optimize=True)
+    return j, k
+
+
+class RHF:
+    """Restricted Hartree-Fock driver.
+
+    Parameters
+    ----------
+    molecule:
+        Target molecule (must have an even number of electrons).
+    basis:
+        Basis-set name or a prebuilt :class:`BasisSet`.
+    max_iterations, energy_tolerance, density_tolerance:
+        Convergence controls.
+    diis_size:
+        Number of Fock/error pairs kept for DIIS extrapolation (0 disables).
+    """
+
+    def __init__(self, molecule: Molecule, basis: str | BasisSet = "sto-3g",
+                 *, max_iterations: int = 200, energy_tolerance: float = 1e-10,
+                 density_tolerance: float = 1e-8, diis_size: int = 8):
+        if molecule.n_electrons % 2:
+            raise ValidationError(
+                "RHF requires an even electron count; got "
+                f"{molecule.n_electrons}"
+            )
+        self.molecule = molecule
+        self.basis = basis if isinstance(basis, BasisSet) else get_basis(molecule, basis)
+        self.engine = IntegralEngine(molecule, self.basis)
+        self.max_iterations = max_iterations
+        self.energy_tolerance = energy_tolerance
+        self.density_tolerance = density_tolerance
+        self.diis_size = diis_size
+
+    def run(self) -> SCFResult:
+        """Iterate to self-consistency; raises ConvergenceError on failure."""
+        s, h, eri, e_nuc = self.engine.all_integrals()
+        n_occ = self.molecule.n_electrons // 2
+        if n_occ > self.basis.n_ao:
+            raise ValidationError(
+                f"{self.molecule.n_electrons} electrons do not fit in "
+                f"{self.basis.n_ao} orbitals"
+            )
+
+        # symmetric (Lowdin) orthogonalization with linear-dependency guard
+        evals, evecs = sla.eigh(s)
+        if evals.min() < 1e-10:
+            raise ValidationError(
+                f"overlap matrix is singular (min eigenvalue {evals.min():.2e})"
+            )
+        x = evecs @ np.diag(evals ** -0.5) @ evecs.T
+
+        # core guess
+        f = h.copy()
+        c, e_mo = self._diagonalize(f, x)
+        d = self._density(c, n_occ)
+        e_old = 0.0
+
+        fock_list: list[np.ndarray] = []
+        err_list: list[np.ndarray] = []
+
+        for it in range(1, self.max_iterations + 1):
+            j, k = build_jk(eri, d)
+            f = h + j - 0.5 * k
+            # DIIS
+            err = x.T @ (f @ d @ s - s @ d @ f) @ x
+            if self.diis_size > 0:
+                fock_list.append(f.copy())
+                err_list.append(err.copy())
+                if len(fock_list) > self.diis_size:
+                    fock_list.pop(0)
+                    err_list.pop(0)
+                if len(fock_list) > 1:
+                    f = self._diis_extrapolate(fock_list, err_list)
+            c, e_mo = self._diagonalize(f, x)
+            d_new = self._density(c, n_occ)
+            e_elec = 0.5 * np.einsum("pq,pq->", d_new, h + f)
+            e_total = e_elec + e_nuc
+            de = abs(e_total - e_old)
+            dd = np.max(np.abs(d_new - d))
+            d, e_old = d_new, e_total
+            if de < self.energy_tolerance and dd < self.density_tolerance:
+                return SCFResult(
+                    energy=float(e_total),
+                    mo_coefficients=c,
+                    mo_energies=e_mo,
+                    density=d,
+                    fock=f,
+                    overlap=s,
+                    core_hamiltonian=h,
+                    nuclear_repulsion=e_nuc,
+                    n_occupied=n_occ,
+                    iterations=it,
+                )
+        raise ConvergenceError(
+            f"RHF did not converge in {self.max_iterations} iterations "
+            f"(dE={de:.2e}, dD={dd:.2e})",
+            iterations=self.max_iterations,
+            residual=float(de),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _diagonalize(f: np.ndarray, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        fp = x.T @ f @ x
+        e, cp = sla.eigh(fp)
+        return x @ cp, e
+
+    @staticmethod
+    def _density(c: np.ndarray, n_occ: int) -> np.ndarray:
+        occ = c[:, :n_occ]
+        return 2.0 * occ @ occ.T
+
+    @staticmethod
+    def _diis_extrapolate(focks: list[np.ndarray],
+                          errors: list[np.ndarray]) -> np.ndarray:
+        m = len(focks)
+        b = -np.ones((m + 1, m + 1))
+        b[m, m] = 0.0
+        for i in range(m):
+            for j in range(m):
+                b[i, j] = np.vdot(errors[i], errors[j])
+        rhs = np.zeros(m + 1)
+        rhs[m] = -1.0
+        try:
+            coeff = np.linalg.solve(b, rhs)
+        except np.linalg.LinAlgError:
+            return focks[-1]
+        f = np.zeros_like(focks[0])
+        for i in range(m):
+            f += coeff[i] * focks[i]
+        return f

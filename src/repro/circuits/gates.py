@@ -1,0 +1,146 @@
+"""Gate definitions and matrices.
+
+Gates are lightweight records; their unitaries are built on demand.  Two-qubit
+matrices use the convention that the *first* listed qubit is the most
+significant factor of the 4x4 kron ordering, i.e. basis order
+|q_a q_b> = |00>, |01>, |10>, |11> with q_a = gate.qubits[0].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+GATE_MATRICES: dict[str, np.ndarray] = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "H": np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex),
+    "S": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "SDG": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "T": np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex),
+    "CX": np.array([[1, 0, 0, 0],
+                    [0, 1, 0, 0],
+                    [0, 0, 0, 1],
+                    [0, 0, 1, 0]], dtype=complex),
+    "CY": np.array([[1, 0, 0, 0],
+                    [0, 1, 0, 0],
+                    [0, 0, 0, -1j],
+                    [0, 0, 1j, 0]], dtype=complex),
+    "CZ": np.diag([1, 1, 1, -1]).astype(complex),
+    "SWAP": np.array([[1, 0, 0, 0],
+                      [0, 0, 1, 0],
+                      [0, 1, 0, 0],
+                      [0, 0, 0, 1]], dtype=complex),
+}
+
+_PARAMETRIC = {"RX", "RY", "RZ", "RZZ"}
+_CUSTOM = {"U1", "U2"}
+
+
+def _rotation_matrix(name: str, angle: float) -> np.ndarray:
+    c, s = math.cos(angle / 2.0), math.sin(angle / 2.0)
+    if name == "RX":
+        return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+    if name == "RY":
+        return np.array([[c, -s], [s, c]], dtype=complex)
+    if name == "RZ":
+        return np.array([[c - 1j * s, 0], [0, c + 1j * s]], dtype=complex)
+    if name == "RZZ":  # exp(-i angle/2 Z (x) Z)
+        e = np.exp(-0.5j * angle)
+        return np.diag([e, e.conjugate(), e.conjugate(), e]).astype(complex)
+    raise ValidationError(f"unknown rotation gate {name!r}")
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate application.
+
+    Attributes
+    ----------
+    name:
+        Gate mnemonic ("H", "CX", "RZ", "U2", ...).
+    qubits:
+        Target qubits (control first for controlled gates).
+    angle:
+        Rotation angle for parametric gates, either fixed at construction or
+        filled in by :meth:`repro.circuits.circuit.Circuit.bind`.
+    param:
+        Optional ``(parameter_index, multiplier)``: the bound angle is
+        ``multiplier * theta[parameter_index]``.  The multiplier carries the
+        Pauli coefficient of the UCC term the rotation came from.
+    unitary:
+        Explicit matrix for custom gates ("U1": 2x2, "U2": 4x4).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    angle: float | None = None
+    param: tuple[int, float] | None = None
+    unitary: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        nm = self.name.upper()
+        if nm != self.name:
+            object.__setattr__(self, "name", nm)
+        if nm in GATE_MATRICES:
+            need = 1 if GATE_MATRICES[nm].shape[0] == 2 else 2
+        elif nm in _PARAMETRIC:
+            need = 2 if nm == "RZZ" else 1
+        elif nm == "U1":
+            need = 1
+        elif nm == "U2":
+            need = 2
+        else:
+            raise ValidationError(f"unknown gate {nm!r}")
+        if len(self.qubits) != need:
+            raise ValidationError(
+                f"{nm} needs {need} qubit(s), got {self.qubits}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValidationError(f"duplicate qubits in {self.qubits}")
+        if nm in _CUSTOM and self.unitary is None:
+            raise ValidationError(f"{nm} requires an explicit unitary")
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.qubits)
+
+    def is_parametric(self) -> bool:
+        return self.param is not None
+
+    def bound(self, theta: np.ndarray) -> "Gate":
+        """Resolve the angle from a parameter vector."""
+        if self.param is None:
+            return self
+        idx, mult = self.param
+        return replace(self, angle=float(mult * theta[idx]), param=None)
+
+    def matrix(self) -> np.ndarray:
+        """The gate unitary; parametric gates must be bound first."""
+        if self.unitary is not None:
+            return self.unitary
+        if self.name in GATE_MATRICES:
+            return GATE_MATRICES[self.name]
+        if self.name in _PARAMETRIC:
+            if self.angle is None:
+                raise ValidationError(
+                    f"unbound parametric gate {self.name} on {self.qubits}"
+                )
+            return _rotation_matrix(self.name, self.angle)
+        raise ValidationError(f"no matrix for gate {self.name!r}")
+
+
+def controlled_pauli_gate(control: int, target: int, pauli: str) -> Gate:
+    """Controlled-X/Y/Z gate used by the Hadamard-test measurement circuits."""
+    pauli = pauli.upper()
+    if pauli not in ("X", "Y", "Z"):
+        raise ValidationError(f"no controlled gate for Pauli {pauli!r}")
+    return Gate(name=f"C{pauli}", qubits=(control, target))

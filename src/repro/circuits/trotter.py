@@ -1,0 +1,70 @@
+"""Compilation of Pauli-string exponentials into elementary gates.
+
+exp(i phi P) for a Pauli string P compiles to the textbook CNOT-staircase
+pattern: single-qubit basis changes bringing every factor to Z, a CNOT ladder
+accumulating the joint parity on the last support qubit, RZ(-2 phi) there,
+and the mirror image back.  This is the Suzuki-Trotter building block of the
+UCCSD ansatz (Sec. II-A of the paper).
+
+Because Jordan-Wigner strings have contiguous support, the ladders emitted
+here consist of nearest-neighbour CNOTs only - which is what makes the
+ansatz MPS-friendly.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.circuits.gates import Gate
+from repro.circuits.circuit import Circuit
+from repro.operators.pauli import PauliTerm
+
+
+def pauli_rotation_circuit(term: PauliTerm, n_qubits: int, *,
+                           angle: float | None = None,
+                           param: tuple[int, float] | None = None) -> list[Gate]:
+    """Gate list implementing exp(i phi P).
+
+    Exactly one of ``angle`` (fixed phi) or ``param`` ((index, multiplier)
+    with phi = multiplier * theta[index]) must be given.  The RZ convention
+    RZ(a) = exp(-i a Z / 2) means the central rotation is RZ(-2 phi).
+    """
+    if (angle is None) == (param is None):
+        raise ValidationError("give exactly one of angle/param")
+    ops = term.ops()
+    if not ops:
+        # exp(i phi I) is a global phase; nothing to emit
+        return []
+    if any(q >= n_qubits for q, _ in ops):
+        raise ValidationError("Pauli support outside register")
+
+    pre: list[Gate] = []
+    post: list[Gate] = []
+    for q, ch in ops:
+        if ch == "X":
+            pre.append(Gate("H", (q,)))
+            post.append(Gate("H", (q,)))
+        elif ch == "Y":
+            # RX(pi/2) maps Y -> Z; RX(-pi/2) undoes it
+            pre.append(Gate("RX", (q,), angle=0.5 * 3.141592653589793))
+            post.append(Gate("RX", (q,), angle=-0.5 * 3.141592653589793))
+        # Z needs no change of basis
+
+    qubits = [q for q, _ in ops]
+    ladder: list[Gate] = []
+    for a, b in zip(qubits[:-1], qubits[1:]):
+        ladder.append(Gate("CX", (a, b)))
+
+    if param is not None:
+        idx, mult = param
+        rz = Gate("RZ", (qubits[-1],), param=(idx, -2.0 * mult))
+    else:
+        rz = Gate("RZ", (qubits[-1],), angle=-2.0 * angle)
+
+    return pre + ladder + [rz] + list(reversed(ladder)) + list(reversed(post))
+
+
+def pauli_exponential(term: PauliTerm, n_qubits: int, angle: float) -> Circuit:
+    """Standalone circuit for exp(i angle P)."""
+    c = Circuit(n_qubits=n_qubits)
+    c.extend(pauli_rotation_circuit(term, n_qubits, angle=angle))
+    return c

@@ -1,0 +1,197 @@
+"""Unitary coupled-cluster singles and doubles (UCCSD) ansatz.
+
+Builds the physically-motivated parametric circuit of the paper (Eq. 3-4):
+a Hartree-Fock reference prepared by X gates followed by the first-order
+Suzuki-Trotter decomposition of exp(T - T+), with one variational parameter
+per spatial-orbital excitation (spin components share their amplitude).
+
+Under Jordan-Wigner each excitation generator maps to a set of mutually
+commuting Pauli strings with purely imaginary coefficients i*c_k, so each
+factor exp(theta_m (tau_m - tau_m+)) compiles exactly into CNOT-staircase
+rotations with angles c_k * theta_m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.operators.fermion import FermionOperator
+from repro.operators.jordan_wigner import jordan_wigner
+from repro.operators.pauli import PauliTerm
+from repro.circuits.gates import Gate
+from repro.circuits.circuit import Circuit
+from repro.circuits.trotter import pauli_rotation_circuit
+
+
+@dataclass
+class Excitation:
+    """One parametrized cluster term tau_m - tau_m+ in Pauli form."""
+
+    label: str
+    param_index: int
+    #: (PauliTerm, real coefficient c) pairs: generator = sum_k i c_k P_k
+    pauli_terms: list[tuple[PauliTerm, float]] = field(default_factory=list)
+
+
+class UCCSDAnsatz:
+    """UCCSD over ``n_spatial`` orbitals with ``n_electrons`` electrons.
+
+    Spin orbitals are interleaved (2p = alpha_p, 2p+1 = beta_p); the
+    reference occupies the first ``n_electrons`` qubits.
+
+    Parameters
+    ----------
+    include_singles / include_doubles:
+        Toggle excitation classes (the paper's ansatz uses both).
+    """
+
+    def __init__(self, n_spatial: int, n_electrons: int, *,
+                 include_singles: bool = True, include_doubles: bool = True,
+                 generalized: bool = False, mapping: str = "jordan_wigner"):
+        if n_electrons % 2:
+            raise ValidationError("closed-shell UCCSD needs even n_electrons")
+        if n_electrons <= 0 or n_electrons >= 2 * n_spatial:
+            raise ValidationError(
+                f"n_electrons={n_electrons} incompatible with "
+                f"{n_spatial} spatial orbitals"
+            )
+        if mapping not in ("jordan_wigner", "jw", "bravyi_kitaev", "bk"):
+            raise ValidationError(f"unknown mapping {mapping!r}")
+        self.n_spatial = n_spatial
+        self.n_electrons = n_electrons
+        self.n_qubits = 2 * n_spatial
+        self.mapping = "bk" if mapping in ("bravyi_kitaev", "bk") else "jw"
+        #: UCCGSD: excitations between *all* orbital pairs, not only
+        #: occupied -> virtual (a more expressive, pricier ansatz)
+        self.generalized = generalized
+        n_occ = n_electrons // 2
+        if generalized:
+            occ = range(n_spatial)
+            virt = range(n_spatial)
+        else:
+            occ = range(n_occ)
+            virt = range(n_occ, n_spatial)
+
+        self.excitations: list[Excitation] = []
+        m = 0
+        if include_singles:
+            for i in occ:
+                for a in virt:
+                    if generalized and a <= i:
+                        continue  # (i,a) and (a,i) give the same generator
+                    tau = FermionOperator.zero()
+                    for s in (0, 1):
+                        tau = tau + FermionOperator.from_term(
+                            [(2 * a + s, 1), (2 * i + s, 0)])
+                    if self._add_excitation(f"s_{i}->{a}", m, tau):
+                        m += 1
+        if include_doubles:
+            if generalized:
+                pairs = [(i, a) for i in range(n_spatial)
+                         for a in range(n_spatial) if a > i]
+            else:
+                pairs = [(i, a) for i in occ for a in virt]
+            for x, (i, a) in enumerate(pairs):
+                for (j, b) in pairs[x:]:
+                    tau = FermionOperator.zero()
+                    for s1 in (0, 1):
+                        for s2 in (0, 1):
+                            p, q = 2 * a + s1, 2 * b + s2
+                            r, t = 2 * j + s2, 2 * i + s1
+                            if p == q or r == t:
+                                continue
+                            tau = tau + FermionOperator.from_term(
+                                [(p, 1), (q, 1), (r, 0), (t, 0)])
+                    if not tau.terms:
+                        continue
+                    if self._add_excitation(f"d_{i}{j}->{a}{b}", m, tau):
+                        m += 1
+        self.n_parameters = m
+
+    def _map(self, op: FermionOperator):
+        if self.mapping == "bk":
+            from repro.operators.bravyi_kitaev import bravyi_kitaev
+
+            return bravyi_kitaev(op, n_qubits=self.n_qubits)
+        return jordan_wigner(op)
+
+    def _add_excitation(self, label: str, index: int,
+                        tau: FermionOperator) -> bool:
+        """Register the Pauli form of tau - tau+; False if it vanishes."""
+        gen = (tau - tau.dagger()).normal_ordered()
+        qop = self._map(gen)
+        terms: list[tuple[PauliTerm, float]] = []
+        for pt, coeff in qop:
+            if abs(coeff.real) > 1e-12:
+                raise ValidationError(
+                    f"excitation {label}: generator is not anti-hermitian "
+                    f"(real Pauli coefficient {coeff.real:g})"
+                )
+            if abs(coeff.imag) > 1e-12:
+                terms.append((pt, float(coeff.imag)))
+        if terms:
+            self.excitations.append(Excitation(label, index, terms))
+            return True
+        return False
+
+    # -- circuits ------------------------------------------------------------
+
+    def _reference_qubits(self) -> list[int]:
+        """Qubits flipped to prepare the HF determinant in the mapping."""
+        if self.mapping == "jw":
+            return list(range(self.n_electrons))
+        from repro.operators.bravyi_kitaev import bk_encode_occupation
+
+        occ = [1 if q < self.n_electrons else 0
+               for q in range(self.n_qubits)]
+        return [q for q, b in enumerate(bk_encode_occupation(occ)) if b]
+
+    def reference_circuit(self, n_qubits: int | None = None) -> Circuit:
+        """X gates preparing the Hartree-Fock reference determinant."""
+        n = n_qubits or self.n_qubits
+        c = Circuit(n_qubits=n, name="hf_reference")
+        for q in self._reference_qubits():
+            c.append(Gate("X", (q,)))
+        return c
+
+    def circuit(self, n_qubits: int | None = None) -> Circuit:
+        """Full parametric ansatz circuit: reference + Trotterized exp(T-T+).
+
+        ``n_qubits`` may exceed the logical width to leave room for a
+        Hadamard-test ancilla.
+        """
+        n = n_qubits or self.n_qubits
+        if n < self.n_qubits:
+            raise ValidationError(
+                f"register of {n} too small for {self.n_qubits} qubits"
+            )
+        c = Circuit(n_qubits=n, n_parameters=self.n_parameters, name="uccsd")
+        for q in self._reference_qubits():
+            c.append(Gate("X", (q,)))
+        for exc in self.excitations:
+            for pt, coeff in exc.pauli_terms:
+                # exp(i (coeff * theta_m) P)
+                c.extend(pauli_rotation_circuit(
+                    pt, n, param=(exc.param_index, coeff)))
+        return c
+
+    def initial_parameters(self, kind: str = "zeros",
+                           seed: int | None = None,
+                           scale: float = 1e-2) -> np.ndarray:
+        """Starting amplitudes: 'zeros' (HF start) or 'random' (break ties)."""
+        if kind == "zeros":
+            return np.zeros(self.n_parameters)
+        if kind == "random":
+            from repro.common.rng import default_rng
+            return scale * default_rng(seed).standard_normal(self.n_parameters)
+        raise ValidationError(f"unknown initial parameter kind {kind!r}")
+
+
+def uccsd_circuit(n_spatial: int, n_electrons: int,
+                  n_qubits: int | None = None) -> tuple[Circuit, UCCSDAnsatz]:
+    """Convenience: build the ansatz and its circuit in one call."""
+    ansatz = UCCSDAnsatz(n_spatial, n_electrons)
+    return ansatz.circuit(n_qubits), ansatz

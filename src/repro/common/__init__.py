@@ -1,0 +1,38 @@
+"""Shared infrastructure: errors, constants, RNG policy, timers.
+
+Every subpackage of :mod:`repro` builds on these primitives so that error
+handling, determinism and timing are uniform across the chemistry substrate,
+the simulators and the parallel runtime.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConvergenceError,
+    ValidationError,
+    TruncationOverflowError,
+    CommunicatorError,
+)
+from repro.common.constants import (
+    ANGSTROM_TO_BOHR,
+    BOHR_TO_ANGSTROM,
+    HARTREE_TO_EV,
+    EV_TO_HARTREE,
+)
+from repro.common.rng import default_rng
+from repro.common.timing import Timer, WallClock, timed
+
+__all__ = [
+    "ReproError",
+    "ConvergenceError",
+    "ValidationError",
+    "TruncationOverflowError",
+    "CommunicatorError",
+    "ANGSTROM_TO_BOHR",
+    "BOHR_TO_ANGSTROM",
+    "HARTREE_TO_EV",
+    "EV_TO_HARTREE",
+    "default_rng",
+    "Timer",
+    "WallClock",
+    "timed",
+]

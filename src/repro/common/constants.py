@@ -1,0 +1,18 @@
+"""Physical constants and unit conversions (CODATA 2018)."""
+
+from __future__ import annotations
+
+#: One angstrom expressed in Bohr radii.
+ANGSTROM_TO_BOHR: float = 1.0 / 0.529177210903
+
+#: One Bohr radius expressed in angstroms.
+BOHR_TO_ANGSTROM: float = 0.529177210903
+
+#: One Hartree expressed in electron-volts.
+HARTREE_TO_EV: float = 27.211386245988
+
+#: One electron-volt expressed in Hartree.
+EV_TO_HARTREE: float = 1.0 / HARTREE_TO_EV
+
+#: Chemical accuracy threshold in Hartree (1 kcal/mol).
+CHEMICAL_ACCURACY: float = 1.5936e-3

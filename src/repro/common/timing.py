@@ -1,0 +1,102 @@
+"""Timing utilities used by the benchmark harness and the parallel runtime.
+
+Two clocks coexist in this library:
+
+* real wall-clock time, measured with :class:`Timer` / :func:`timed`, used by
+  the single-node micro-benchmarks (Figs. 8-11 of the paper);
+* the simulated event clock of :class:`repro.parallel.comm.SimCommunicator`,
+  advanced by the calibrated performance model, used to regenerate the
+  strong/weak scaling results (Figs. 12-13) that required 20M Sunway cores.
+
+:class:`WallClock` abstracts over both so the three-level driver can run
+unchanged in either mode.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t.section("svd"):
+    ...     pass
+    >>> t.total("svd") >= 0.0
+    True
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds spent in ``name`` (0.0 if never entered)."""
+        return self.totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of times ``name`` was entered."""
+        return self.counts.get(name, 0)
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def report(self) -> str:
+        """Human-readable breakdown sorted by descending total time."""
+        lines = ["section                        total(s)    calls"]
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(f"{name:<28} {self.totals[name]:>10.4f} {self.counts[name]:>8d}")
+        return "\n".join(lines)
+
+
+class WallClock:
+    """A clock that can be real (``perf_counter``) or virtual (event-driven).
+
+    The parallel runtime advances a virtual clock through :meth:`advance`;
+    everything else reads :meth:`now`.
+    """
+
+    def __init__(self, virtual: bool = False):
+        self.virtual = virtual
+        self._t = 0.0
+
+    def now(self) -> float:
+        if self.virtual:
+            return self._t
+        return time.perf_counter()
+
+    def advance(self, dt: float) -> None:
+        """Advance a virtual clock by ``dt`` seconds (no-op guard for real)."""
+        if not self.virtual:
+            raise RuntimeError("cannot advance a real wall clock")
+        if dt < 0:
+            raise ValueError(f"negative time step: {dt}")
+        self._t += dt
+
+
+def timed(fn: Callable, *args, repeat: int = 1, **kwargs) -> tuple[float, object]:
+    """Run ``fn`` ``repeat`` times; return (best wall seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result

@@ -1,0 +1,35 @@
+"""Density Matrix Embedding Theory (Sec. III-B of the paper).
+
+Splits a large system into fragments, builds a Schmidt-decomposition bath for
+each, solves the small embedded problems with a high-level solver (FCI or
+MPS-VQE), and stitches the fragment energies back together with democratic
+partitioning under a global chemical potential fitted so the fragments'
+electron numbers sum to the total.
+"""
+
+from repro.dmet.orthogonalize import lowdin_orthogonalize, OrthogonalSystem
+from repro.dmet.bath import build_bath, EmbeddingBasis
+from repro.dmet.embedding import build_embedding_hamiltonian, EmbeddingProblem
+from repro.dmet.solvers import (
+    FragmentSolution,
+    FCIFragmentSolver,
+    VQEFragmentSolver,
+    embedded_rhf,
+)
+from repro.dmet.dmet import DMET, DMETResult, atoms_per_fragment
+
+__all__ = [
+    "lowdin_orthogonalize",
+    "OrthogonalSystem",
+    "build_bath",
+    "EmbeddingBasis",
+    "build_embedding_hamiltonian",
+    "EmbeddingProblem",
+    "FragmentSolution",
+    "FCIFragmentSolver",
+    "VQEFragmentSolver",
+    "embedded_rhf",
+    "DMET",
+    "DMETResult",
+    "atoms_per_fragment",
+]

@@ -1,0 +1,39 @@
+"""Jordan-Wigner transformation.
+
+Maps ladder operators on spin orbital p to Pauli strings:
+
+    a+_p = 1/2 (X_p - i Y_p) Z_0 ... Z_{p-1}
+    a_p  = 1/2 (X_p + i Y_p) Z_0 ... Z_{p-1}
+
+The Z chain fills the qubits below p, so operators with contiguous orbital
+support map to Pauli strings with contiguous qubit support - the property
+that makes the UCCSD circuits of the paper nearest-neighbour friendly for
+the MPS simulator.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.operators.fermion import FermionOperator
+from repro.operators.pauli import PauliTerm, QubitOperator
+
+
+@lru_cache(maxsize=4096)
+def _ladder_qubit_operator(p: int, dagger: int) -> QubitOperator:
+    z_chain = (1 << p) - 1  # Z on qubits 0..p-1
+    x_term = PauliTerm(x=1 << p, z=z_chain)
+    y_term = PauliTerm(x=1 << p, z=z_chain | (1 << p))
+    sign = -1.0j if dagger else 1.0j
+    return QubitOperator({x_term: 0.5, y_term: 0.5 * sign})
+
+
+def jordan_wigner(op: FermionOperator, tolerance: float = 1e-12) -> QubitOperator:
+    """Transform a :class:`FermionOperator` into a :class:`QubitOperator`."""
+    out = QubitOperator.zero()
+    for term, coeff in op.terms.items():
+        q = QubitOperator.identity(coeff)
+        for p, d in term:
+            q = q * _ladder_qubit_operator(p, d)
+        out = out + q
+    return out.simplify(tolerance)

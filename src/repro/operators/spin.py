@@ -1,0 +1,51 @@
+"""Total-spin observables over interleaved spin orbitals.
+
+S_z and S^2 as qubit operators, used to verify that VQE/DMRG wavefunctions
+sit in the intended spin sector (closed-shell ground states must be
+singlets: <S^2> = 0) - a physics check on top of the energy comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.operators.fermion import FermionOperator
+from repro.operators.jordan_wigner import jordan_wigner
+from repro.operators.pauli import QubitOperator
+
+
+def sz_operator(n_spatial: int) -> QubitOperator:
+    """S_z = 1/2 sum_p (n_p-alpha - n_p-beta)."""
+    op = FermionOperator.zero()
+    for p in range(n_spatial):
+        op = op + FermionOperator.from_term([(2 * p, 1), (2 * p, 0)], 0.5)
+        op = op - FermionOperator.from_term([(2 * p + 1, 1),
+                                             (2 * p + 1, 0)], 0.5)
+    return jordan_wigner(op)
+
+
+def s_plus_operator(n_spatial: int) -> FermionOperator:
+    """S_+ = sum_p a+_{p alpha} a_{p beta} (fermionic form)."""
+    op = FermionOperator.zero()
+    for p in range(n_spatial):
+        op = op + FermionOperator.from_term([(2 * p, 1), (2 * p + 1, 0)])
+    return op
+
+
+def s2_operator(n_spatial: int) -> QubitOperator:
+    """S^2 = S_- S_+ + S_z (S_z + 1) as a qubit operator."""
+    sp = s_plus_operator(n_spatial)
+    sm = sp.dagger()
+    sz = FermionOperator.zero()
+    for p in range(n_spatial):
+        sz = sz + FermionOperator.from_term([(2 * p, 1), (2 * p, 0)], 0.5)
+        sz = sz - FermionOperator.from_term([(2 * p + 1, 1),
+                                             (2 * p + 1, 0)], 0.5)
+    s2 = (sm * sp + sz * sz + sz).normal_ordered()
+    return jordan_wigner(s2)
+
+
+def number_operator(n_spin_orbitals: int) -> QubitOperator:
+    """Total particle number N_hat as a qubit operator."""
+    op = FermionOperator.zero()
+    for p in range(n_spin_orbitals):
+        op = op + FermionOperator.from_term([(p, 1), (p, 0)])
+    return jordan_wigner(op)

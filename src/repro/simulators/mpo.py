@@ -1,0 +1,129 @@
+"""Matrix Product Operators built from weighted Pauli strings.
+
+Support for the DMRG extension (Sec. III-A of the paper notes the MPS-VQE
+ansatz "may well [be] substitute[d] by another MPS based optimization
+algorithm such as DMRG" at equal expressiveness).  A QubitOperator is first
+laid out as an exact MPO of bond dimension = #terms, then compressed by
+successive SVDs, which collapses the typical molecular Hamiltonian to a
+modest bond dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.operators.pauli import QubitOperator
+from repro.simulators.kernels import svd_truncated, tensordot_fused
+
+_PAULI_MATS = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+class MPO:
+    """An MPO over qubits: tensors W[k] of shape (Dl, 2, 2, Dr)."""
+
+    def __init__(self, tensors: list[np.ndarray]):
+        if not tensors:
+            raise ValidationError("empty MPO")
+        for k, w in enumerate(tensors):
+            if w.ndim != 4 or w.shape[1] != 2 or w.shape[2] != 2:
+                raise ValidationError(f"bad MPO tensor shape at site {k}")
+        self.tensors = tensors
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.tensors)
+
+    def bond_dimensions(self) -> list[int]:
+        return [w.shape[3] for w in self.tensors[:-1]]
+
+    @classmethod
+    def from_qubit_operator(cls, op: QubitOperator, n_qubits: int,
+                            compress_cutoff: float = 1e-12) -> "MPO":
+        """Exact sum-of-strings MPO (bond dim = #terms), then compression.
+
+        Term t occupies the diagonal bond channel t: the first site carries
+        the coefficient, interior sites route each channel through its
+        Pauli factor, and the last site closes every channel.
+        """
+        terms = list(op.simplify(0.0).terms.items())
+        if not terms:
+            raise ValidationError("cannot build an MPO from the zero operator")
+        if n_qubits < 1:
+            raise ValidationError("n_qubits must be positive")
+        m = len(terms)
+        labels = [term.label(n_qubits) for term, _ in terms]
+        if n_qubits == 1:
+            w = np.zeros((1, 2, 2, 1), dtype=complex)
+            for (term, coeff), lab in zip(terms, labels):
+                w[0, :, :, 0] += coeff * _PAULI_MATS[lab[0]]
+            return cls([w])
+        tensors: list[np.ndarray] = []
+        w0 = np.zeros((1, 2, 2, m), dtype=complex)
+        for t, (term, coeff) in enumerate(terms):
+            w0[0, :, :, t] = coeff * _PAULI_MATS[labels[t][0]]
+        tensors.append(w0)
+        for k in range(1, n_qubits - 1):
+            w = np.zeros((m, 2, 2, m), dtype=complex)
+            for t in range(m):
+                w[t, :, :, t] = _PAULI_MATS[labels[t][k]]
+            tensors.append(w)
+        wl = np.zeros((m, 2, 2, 1), dtype=complex)
+        for t in range(m):
+            wl[t, :, :, 0] = _PAULI_MATS[labels[t][n_qubits - 1]]
+        tensors.append(wl)
+        mpo = cls(tensors)
+        mpo._compress(compress_cutoff)
+        return mpo
+
+    def _compress(self, cutoff: float) -> None:
+        """Two SVD sweeps shrinking redundant bond dimensions."""
+        n = self.n_qubits
+        # left-to-right
+        for k in range(n - 1):
+            w = self.tensors[k]
+            dl, _, _, dr = w.shape
+            mat = w.reshape(dl * 4, dr)
+            u, s, vh, _ = svd_truncated(mat, cutoff=cutoff)
+            self.tensors[k] = u.reshape(dl, 2, 2, s.size)
+            carry = (s[:, None] * vh)
+            self.tensors[k + 1] = tensordot_fused(
+                carry, self.tensors[k + 1], axes=((1,), (0,)))
+        # right-to-left
+        for k in range(n - 1, 0, -1):
+            w = self.tensors[k]
+            dl, _, _, dr = w.shape
+            mat = w.reshape(dl, 4 * dr)
+            u, s, vh, _ = svd_truncated(mat, cutoff=cutoff)
+            self.tensors[k] = vh.reshape(s.size, 2, 2, dr)
+            carry = u * s[None, :]
+            self.tensors[k - 1] = tensordot_fused(
+                self.tensors[k - 1], carry, axes=((3,), (0,)))
+
+    def matrix(self) -> np.ndarray:
+        """Dense matrix (tests only)."""
+        if self.n_qubits > 12:
+            raise ValidationError("refusing dense MPO expansion")
+        out = self.tensors[0]  # (1, 2, 2, D)
+        for k in range(1, self.n_qubits):
+            out = np.einsum("aijb,bklc->aikjlc", out, self.tensors[k])
+            s = out.shape
+            out = out.reshape(s[0], s[1] * s[2], s[3] * s[4], s[5])
+        return out[0, :, :, 0]
+
+    def expectation(self, mps) -> float:
+        """<psi| MPO |psi> via the standard three-layer transfer contraction."""
+        env = np.ones((1, 1, 1), dtype=complex)  # (ket, mpo, bra)
+        for k in range(self.n_qubits):
+            b = mps.tensors[k]
+            w = self.tensors[k]
+            # env[a, m, c] B[a, i, a'] W[m, i', i, m'] conj(B)[c, i', c']
+            tmp = np.einsum("amc,aib->mcib", env, b, optimize=True)
+            tmp = np.einsum("mcib,mjin->cbjn", tmp, w, optimize=True)
+            env = np.einsum("cbjn,cjd->bnd", tmp, b.conj(), optimize=True)
+        return float(np.real(env[0, 0, 0]))

@@ -1,0 +1,445 @@
+"""Matrix Product State with right-canonical tensors and bond Schmidt values.
+
+Implements the paper's Sec. III-A verbatim:
+
+* the state is stored as right-canonical site tensors B_n (Eq. 6) plus the
+  Schmidt values lambda_b on every bond;
+* a nearest-neighbour two-qubit gate contracts into the rank-4 tensor M
+  (Eq. 7), is pre-scaled by the *left* bond's Schmidt values (Eq. 8),
+  economy-SVD'd (Eq. 9) and truncated to the bond dimension D keeping the
+  largest Schmidt values;
+* the left tensor is restored with the Hastings trick B = M V+ (Eq. 10),
+  which avoids dividing by small Schmidt values and keeps both tensors
+  right-canonical;
+* local expectation values close with lambda^2 on the left and the
+  right-canonical identity on the right (Eq. 11);
+* the cumulative discarded Schmidt weight is tracked as the truncation-error
+  monitor the paper describes, with an optional hard ceiling that raises
+  :class:`repro.common.errors.TruncationOverflowError`.
+
+Bond convention: ``lambdas[b]`` lives on the bond *left of* site ``b``
+(``lambdas[0]`` and ``lambdas[n]`` are the trivial edge bonds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import TruncationOverflowError, ValidationError
+from repro.common.rng import default_rng
+from repro.simulators.kernels import (
+    KernelBackend,
+    get_backend,
+    svd_truncated,
+    tensordot_fused,
+)
+
+_SWAP = np.array([[1, 0, 0, 0],
+                  [0, 0, 1, 0],
+                  [0, 1, 0, 0],
+                  [0, 0, 0, 1]], dtype=complex)
+
+
+@dataclass
+class TruncationStats:
+    """Accumulated truncation diagnostics for one MPS evolution."""
+
+    total_discarded_weight: float = 0.0
+    max_discarded_weight: float = 0.0
+    truncation_events: int = 0
+    max_bond_dimension_reached: int = 1
+
+    def record(self, discarded: float, bond_dim: int) -> None:
+        self.total_discarded_weight += discarded
+        self.max_discarded_weight = max(self.max_discarded_weight, discarded)
+        if discarded > 0.0:
+            self.truncation_events += 1
+        self.max_bond_dimension_reached = max(
+            self.max_bond_dimension_reached, bond_dim)
+
+
+class MPS:
+    """A right-canonical matrix product state over qubits (d=2).
+
+    Parameters
+    ----------
+    n_qubits:
+        Chain length.
+    max_bond_dimension:
+        Truncation threshold D; ``None`` means unbounded (exact evolution).
+    cutoff:
+        Relative singular-value cutoff applied before the D cap.
+    max_truncation_error:
+        Optional hard ceiling on accumulated discarded weight - exceeded
+        means the simulation is no longer trustworthy at this D and a
+        :class:`TruncationOverflowError` is raised.
+    """
+
+    def __init__(self, n_qubits: int, *, max_bond_dimension: int | None = None,
+                 cutoff: float = 1e-12,
+                 max_truncation_error: float | None = None,
+                 backend: KernelBackend | None = None,
+                 update_scheme: str = "hastings"):
+        if n_qubits < 1:
+            raise ValidationError("MPS needs at least one site")
+        if max_bond_dimension is not None and max_bond_dimension < 1:
+            raise ValidationError("max_bond_dimension must be >= 1")
+        if update_scheme not in ("hastings", "vidal"):
+            raise ValidationError(
+                f"unknown update scheme {update_scheme!r}"
+            )
+        self.n_qubits = n_qubits
+        self.max_bond_dimension = max_bond_dimension
+        self.cutoff = cutoff
+        self.max_truncation_error = max_truncation_error
+        #: "hastings" restores B_q = M V+ (Eq. 10, no division); "vidal"
+        #: divides U S by the left Schmidt values - the numerically fragile
+        #: alternative the paper's scheme avoids (kept for the ablation
+        #: benchmark).
+        self.update_scheme = update_scheme
+        self.backend = backend or get_backend()
+        self.stats = TruncationStats()
+        # |0...0> product state
+        self.tensors: list[np.ndarray] = []
+        for _ in range(n_qubits):
+            t = np.zeros((1, 2, 1), dtype=complex)
+            t[0, 0, 0] = 1.0
+            self.tensors.append(t)
+        self.lambdas: list[np.ndarray] = [
+            np.ones(1) for _ in range(n_qubits + 1)
+        ]
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_bitstring(cls, bits: str, **kwargs) -> "MPS":
+        """Product state |b_0 b_1 ...> with qubit 0 leftmost."""
+        mps = cls(len(bits), **kwargs)
+        for q, b in enumerate(bits):
+            if b not in "01":
+                raise ValidationError(f"bad bit {b!r}")
+            t = np.zeros((1, 2, 1), dtype=complex)
+            t[0, int(b), 0] = 1.0
+            mps.tensors[q] = t
+        return mps
+
+    @classmethod
+    def random_state(cls, n_qubits: int, bond_dimension: int,
+                     seed: int | None = None, **kwargs) -> "MPS":
+        """Random MPS with the requested bond dimension, canonicalized.
+
+        This is the Sec. IV-B benchmark initial state ("the initial quantum
+        state is generated randomly according to a bond dimension
+        threshold").
+        """
+        rng = default_rng(seed)
+        mps = cls(n_qubits, **kwargs)
+        dims = [1]
+        for b in range(1, n_qubits):
+            dims.append(int(min(bond_dimension, 2 ** b,
+                                2 ** (n_qubits - b))))
+        dims.append(1)
+        for q in range(n_qubits):
+            shape = (dims[q], 2, dims[q + 1])
+            mps.tensors[q] = (rng.standard_normal(shape)
+                              + 1j * rng.standard_normal(shape))
+        mps._canonicalize()
+        mps.stats = TruncationStats()  # construction is not evolution
+        return mps
+
+    # -- canonical form -------------------------------------------------------
+
+    def _canonicalize(self) -> None:
+        """Restore right-canonical form + Schmidt values via two sweeps."""
+        n = self.n_qubits
+        # left-to-right QR sweep -> left-canonical, accumulates norm
+        for q in range(n - 1):
+            dl, d, dr = self.tensors[q].shape
+            mat = self.tensors[q].reshape(dl * d, dr)
+            qm, rm = np.linalg.qr(mat)
+            self.tensors[q] = qm.reshape(dl, d, qm.shape[1])
+            self.tensors[q + 1] = tensordot_fused(
+                rm, self.tensors[q + 1], axes=((1,), (0,)),
+                backend=self.backend)
+        # right-to-left SVD sweep -> right-canonical + Schmidt values
+        for q in range(n - 1, 0, -1):
+            dl, d, dr = self.tensors[q].shape
+            mat = self.tensors[q].reshape(dl, d * dr)
+            u, s, vh, disc = svd_truncated(
+                mat, self.max_bond_dimension, self.cutoff,
+                backend=self.backend)
+            self.stats.record(disc, s.size)
+            norm = np.linalg.norm(s)
+            s = s / norm
+            self.lambdas[q] = s
+            self.tensors[q] = vh.reshape(s.size, d, dr)
+            carry = u * (s * norm)[None, :]
+            self.tensors[q - 1] = tensordot_fused(
+                self.tensors[q - 1], carry, axes=((2,), (0,)),
+                backend=self.backend)
+        # overall normalization sits in tensor 0
+        nrm = np.linalg.norm(self.tensors[0])
+        if nrm == 0.0:
+            raise ValidationError("zero-norm MPS")
+        self.tensors[0] = self.tensors[0] / nrm
+        self.lambdas[0] = np.ones(1)
+        self.lambdas[n] = np.ones(1)
+
+    # -- properties --------------------------------------------------------------
+
+    def bond_dimensions(self) -> list[int]:
+        return [lam.size for lam in self.lambdas[1:-1]]
+
+    def max_bond(self) -> int:
+        dims = self.bond_dimensions()
+        return max(dims) if dims else 1
+
+    def memory_bytes(self) -> int:
+        return sum(t.nbytes for t in self.tensors) + \
+            sum(l.nbytes for l in self.lambdas)
+
+    def entanglement_entropy(self, bond: int) -> float:
+        """Von Neumann entropy of the Schmidt spectrum on ``bond``."""
+        if bond < 1 or bond > self.n_qubits - 1:
+            raise ValidationError(f"bond {bond} out of range")
+        lam2 = self.lambdas[bond] ** 2
+        lam2 = lam2[lam2 > 1e-16]
+        return float(-np.sum(lam2 * np.log(lam2)))
+
+    def norm(self) -> float:
+        """State norm (1 up to accumulated truncation loss)."""
+        # right-canonical: norm^2 = sum_i |tensor_0|^2 contracted... the
+        # full contraction reduces to Frobenius norm of the first tensor
+        return float(np.linalg.norm(self.tensors[0]))
+
+    def check_right_canonical(self, tolerance: float = 1e-9) -> bool:
+        """Verify the right-canonical invariant on every site."""
+        for q in range(self.n_qubits):
+            b = self.tensors[q]
+            g = np.einsum("lir,mir->lm", b, b.conj())
+            if not np.allclose(g, np.eye(b.shape[0]), atol=tolerance):
+                return False
+        return True
+
+    # -- gate application ---------------------------------------------------------
+
+    def apply_one_qubit(self, mat: np.ndarray, q: int) -> None:
+        """Apply a 2x2 unitary on site q (right-canonical preserved)."""
+        if q < 0 or q >= self.n_qubits:
+            raise ValidationError(f"qubit {q} out of range")
+        self.tensors[q] = tensordot_fused(
+            mat.astype(complex), self.tensors[q], axes=((1,), (1,)),
+            backend=self.backend).transpose(1, 0, 2)
+
+    def apply_two_qubit(self, mat: np.ndarray, q1: int, q2: int) -> None:
+        """Apply a 4x4 unitary on (q1, q2); routes non-adjacent pairs.
+
+        The matrix is in the |q1 q2> basis (first qubit = MSB).  Non-adjacent
+        pairs are handled by swapping q1 next to q2 and back, as the paper's
+        simulator does for the Hadamard-test ancilla couplings.
+        """
+        if q1 == q2:
+            raise ValidationError("two-qubit gate needs distinct qubits")
+        for q in (q1, q2):
+            if q < 0 or q >= self.n_qubits:
+                raise ValidationError(f"qubit {q} out of range")
+        if abs(q1 - q2) == 1:
+            if q2 == q1 + 1:
+                self._apply_adjacent(np.asarray(mat, complex), q1)
+            else:
+                # gate given as (high, low): permute into site order
+                self._apply_adjacent(_permute4(np.asarray(mat, complex)), q2)
+            return
+        # route: move q1 next to q2 with swaps
+        step = 1 if q2 > q1 else -1
+        pos = q1
+        while abs(pos - q2) > 1:
+            lo = min(pos, pos + step)
+            self._apply_adjacent(_SWAP, lo)
+            pos += step
+        self.apply_two_qubit(mat, pos, q2)
+        while pos != q1:
+            lo = min(pos, pos - step)
+            self._apply_adjacent(_SWAP, lo)
+            pos -= step
+
+    def _apply_adjacent(self, mat: np.ndarray, q: int) -> None:
+        """Gate on sites (q, q+1) via Eqs. 7-10 of the paper."""
+        b1, b2 = self.tensors[q], self.tensors[q + 1]
+        gate = mat.reshape(2, 2, 2, 2)  # [i_out, j_out, i_in, j_in]
+        # Eq. 7: M[l, i, j, r]
+        theta = tensordot_fused(b1, b2, axes=((2,), (0,)),
+                                backend=self.backend)      # l i' j' r
+        m = tensordot_fused(gate, theta, axes=((2, 3), (1, 2)),
+                            backend=self.backend)          # i j l r
+        m = m.transpose(2, 0, 1, 3)                        # l i j r
+        # Eq. 8: scale by the left bond's Schmidt values
+        lam_left = self.lambdas[q]
+        m_scaled = m * lam_left[:, None, None, None]
+        dl, _, _, dr = m.shape
+        # Eq. 9: SVD + truncation
+        u, s, vh, disc = svd_truncated(
+            m_scaled.reshape(dl * 2, 2 * dr),
+            self.max_bond_dimension, self.cutoff, backend=self.backend)
+        chi = s.size
+        self.stats.record(disc, chi)
+        if (self.max_truncation_error is not None
+                and self.stats.total_discarded_weight
+                > self.max_truncation_error):
+            raise TruncationOverflowError(
+                f"accumulated truncation error "
+                f"{self.stats.total_discarded_weight:.3e} exceeds limit "
+                f"{self.max_truncation_error:.3e} (D="
+                f"{self.max_bond_dimension})",
+                accumulated_error=self.stats.total_discarded_weight,
+            )
+        s_norm = np.linalg.norm(s)
+        self.lambdas[q + 1] = s / s_norm
+        new_b2 = vh.reshape(chi, 2, dr)
+        self.tensors[q + 1] = new_b2
+        if self.update_scheme == "vidal":
+            # divide the left Schmidt values back out of U S - correct in
+            # exact arithmetic but amplifies noise when lambdas are small
+            lam_safe = np.where(lam_left > 1e-14, lam_left, 1.0)
+            new_b1 = ((u * s[None, :] / np.linalg.norm(s))
+                      .reshape(dl, 2, chi)
+                      / lam_safe[:, None, None])
+        else:
+            # Eq. 10 (Hastings): B_q = M V+, right-canonical by construction
+            new_b1 = tensordot_fused(m, new_b2.conj(), axes=((2, 3), (1, 2)),
+                                     backend=self.backend)  # l i chi
+        if disc > 0.0:
+            # truncation removed weight; restore normalization exactly using
+            # the local norm sum_l lambda_l^2 |B_q[l,:,:]|^2 (left part is
+            # canonical, right part is isometric)
+            local = np.einsum("l,lik,lik->", lam_left ** 2,
+                              new_b1, new_b1.conj()).real
+            if local <= 0.0:
+                raise ValidationError("state collapsed during truncation")
+            new_b1 = new_b1 / np.sqrt(local)
+        self.tensors[q] = new_b1
+
+    # -- measurement -----------------------------------------------------------------
+
+    def expectation_local(self, ops: dict[int, np.ndarray]) -> complex:
+        """<psi| prod_q O_q |psi> for single-site operators O_q (Eq. 11).
+
+        The transfer contraction runs over the contiguous range spanning the
+        support; identity is used on gap sites; the right-canonical identity
+        closes the contraction past the last site.
+        """
+        if not ops:
+            return 1.0 + 0.0j
+        sites = sorted(ops)
+        if sites[0] < 0 or sites[-1] >= self.n_qubits:
+            raise ValidationError("operator support out of range")
+        s0 = sites[0]
+        lam = self.lambdas[s0]
+        env = np.diag((lam * lam).astype(complex))  # [ket, bra]
+        for q in range(s0, sites[-1] + 1):
+            b = self.tensors[q]
+            op = ops.get(q)
+            if op is None:
+                bk = b
+            else:
+                bk = tensordot_fused(np.asarray(op, complex), b,
+                                     axes=((1,), (1,)),
+                                     backend=self.backend).transpose(1, 0, 2)
+            # env'[r, s] = sum_{l, m, i} env[l, m] bk[l, i, r] conj(b[m, i, s])
+            tmp = tensordot_fused(env, bk, axes=((0,), (0,)),
+                                  backend=self.backend)      # m i r
+            env = tensordot_fused(tmp, b.conj(), axes=((0, 1), (0, 1)),
+                                  backend=self.backend)      # r s
+        return complex(np.trace(env))
+
+    def expectation_pauli(self, term) -> float:
+        """<psi| P |psi> for a Pauli string (uses the local-op contraction)."""
+        from repro.circuits.gates import GATE_MATRICES
+
+        ops = {q: GATE_MATRICES[ch] for q, ch in term.ops()}
+        return float(np.real(self.expectation_local(ops)))
+
+    def amplitude(self, bits: str) -> complex:
+        """Amplitude <b|psi> of one computational basis state."""
+        if len(bits) != self.n_qubits:
+            raise ValidationError("bitstring length mismatch")
+        vec = np.ones((1,), dtype=complex)
+        for q, b in enumerate(bits):
+            vec = tensordot_fused(vec, self.tensors[q][:, int(b), :],
+                                  axes=((0,), (0,)), backend=self.backend)
+        return complex(vec[0])
+
+    def to_statevector(self) -> np.ndarray:
+        """Dense amplitudes (small n only), qubit 0 = most significant bit."""
+        if self.n_qubits > 22:
+            raise ValidationError(
+                f"refusing dense expansion of {self.n_qubits} qubits"
+            )
+        out = self.tensors[0]  # (1, 2, D)
+        for q in range(1, self.n_qubits):
+            out = tensordot_fused(out, self.tensors[q], axes=((out.ndim - 1,),
+                                                              (0,)),
+                                  backend=self.backend)
+        return out.reshape(-1)
+
+    def sample(self, n_samples: int, seed: int | None = None) -> list[str]:
+        """Draw computational-basis samples by sequential conditioning.
+
+        Exploits the right-canonical form: sweeping left to right, the
+        conditional distribution of qubit k given the already-sampled
+        prefix comes from one small contraction per site - O(n D^2) per
+        sample, never materializing the 2^n distribution.  (This is the
+        measurement primitive a sampling-based benchmark like the paper's
+        RQC references would use.)
+        """
+        if n_samples < 1:
+            raise ValidationError("need at least one sample")
+        rng = default_rng(seed)
+        out = []
+        for _ in range(n_samples):
+            bits = []
+            # env: amplitude vector over the current left bond
+            env = np.ones((1,), dtype=complex)
+            for k in range(self.n_qubits):
+                b = self.tensors[k]
+                # unnormalized amplitudes of extending the prefix by 0/1
+                vec0 = env @ b[:, 0, :]
+                vec1 = env @ b[:, 1, :]
+                # right-canonicality: P(prefix+i) = |vec_i|^2
+                p0 = float(np.real(np.vdot(vec0, vec0)))
+                p1 = float(np.real(np.vdot(vec1, vec1)))
+                total = p0 + p1
+                if total <= 0.0:
+                    raise ValidationError("zero-norm branch while sampling")
+                if rng.random() < p0 / total:
+                    bits.append("0")
+                    env = vec0 / np.sqrt(p0) if p0 > 0 else vec0
+                else:
+                    bits.append("1")
+                    env = vec1 / np.sqrt(p1) if p1 > 0 else vec1
+            out.append("".join(bits))
+        return out
+
+    def copy(self) -> "MPS":
+        other = MPS(self.n_qubits,
+                    max_bond_dimension=self.max_bond_dimension,
+                    cutoff=self.cutoff,
+                    max_truncation_error=self.max_truncation_error,
+                    backend=self.backend)
+        other.tensors = [t.copy() for t in self.tensors]
+        other.lambdas = [l.copy() for l in self.lambdas]
+        other.stats = TruncationStats(
+            self.stats.total_discarded_weight,
+            self.stats.max_discarded_weight,
+            self.stats.truncation_events,
+            self.stats.max_bond_dimension_reached,
+        )
+        return other
+
+
+def _permute4(mat: np.ndarray) -> np.ndarray:
+    """Reverse qubit order of a 4x4 matrix: |ab> -> |ba> relabelling."""
+    perm = [0, 2, 1, 3]
+    return mat[np.ix_(perm, perm)]

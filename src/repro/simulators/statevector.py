@@ -1,0 +1,130 @@
+"""Dense state-vector simulator (the qiskit-SV baseline of Figs. 2c and 8).
+
+Stores the full 2^n amplitude vector; gate application reshapes the state
+into a rank-n tensor and contracts the gate on the target axes.  Memory is
+the paper's point: 16 bytes * 2^n means ~45 qubits saturate a supercomputer,
+which is why the MPS simulator exists.
+
+Qubit 0 is the most significant index bit (matching
+:meth:`repro.operators.pauli.PauliTerm.matrix`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.circuits.circuit import Circuit
+from repro.operators.pauli import PauliTerm, QubitOperator
+
+
+class StatevectorSimulator:
+    """Exact dense simulation of bound circuits.
+
+    Parameters
+    ----------
+    n_qubits:
+        Register width (memory check refuses > ``max_qubits``).
+    max_qubits:
+        Hard safety limit on the dense representation.
+    """
+
+    def __init__(self, n_qubits: int, *, max_qubits: int = 26):
+        if n_qubits < 1:
+            raise ValidationError("need at least one qubit")
+        if n_qubits > max_qubits:
+            raise ValidationError(
+                f"{n_qubits} qubits need {16 * 2 ** n_qubits / 1e9:.1f} GB; "
+                f"raise max_qubits to allow"
+            )
+        self.n_qubits = n_qubits
+        self.state = np.zeros((2,) * n_qubits, dtype=complex)
+        self.state[(0,) * n_qubits] = 1.0
+
+    # -- state management -----------------------------------------------------
+
+    def reset(self) -> None:
+        self.state.fill(0.0)
+        self.state[(0,) * self.n_qubits] = 1.0
+
+    def set_state(self, vec: np.ndarray) -> None:
+        vec = np.asarray(vec, dtype=complex)
+        if vec.size != 2 ** self.n_qubits:
+            raise ValidationError(
+                f"state size {vec.size} != 2^{self.n_qubits}"
+            )
+        self.state = vec.reshape((2,) * self.n_qubits).copy()
+
+    def statevector(self) -> np.ndarray:
+        """Flat copy of the amplitudes (qubit 0 = most significant bit)."""
+        return self.state.reshape(-1).copy()
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.state))
+
+    # -- gates ---------------------------------------------------------------------
+
+    def apply_gate(self, gate) -> None:
+        mat = gate.matrix()
+        if gate.n_qubits == 1:
+            self._apply_matrix(mat, gate.qubits)
+        else:
+            self._apply_matrix(mat.reshape(2, 2, 2, 2), gate.qubits)
+
+    def _apply_matrix(self, mat: np.ndarray, qubits: tuple[int, ...]) -> None:
+        k = len(qubits)
+        axes_in = list(range(k, 2 * k))
+        moved = np.tensordot(mat, self.state, axes=(axes_in, list(qubits)))
+        # tensordot puts the gate's output axes first; move them back
+        self.state = np.moveaxis(moved, list(range(k)), list(qubits))
+
+    def run(self, circuit: Circuit) -> "StatevectorSimulator":
+        """Apply all gates of a bound circuit (in place; returns self)."""
+        if circuit.n_qubits != self.n_qubits:
+            raise ValidationError(
+                f"circuit width {circuit.n_qubits} != register {self.n_qubits}"
+            )
+        for g in circuit.gates:
+            self.apply_gate(g)
+        return self
+
+    # -- measurement -------------------------------------------------------------------
+
+    def expectation_pauli(self, term: PauliTerm) -> float:
+        """<psi| P |psi> for a Pauli string (real by hermiticity)."""
+        psi = self.state
+        phi = psi
+        for q, ch in term.ops():
+            mat = _PAULIS[ch]
+            moved = np.tensordot(mat, phi, axes=([1], [q]))
+            phi = np.moveaxis(moved, 0, q)
+        return float(np.real(np.vdot(psi, phi)))
+
+    def expectation(self, op: QubitOperator) -> float:
+        """<psi| H |psi> for a weighted Pauli-string operator."""
+        total = 0.0 + 0.0j
+        for term, coeff in op:
+            if term.is_identity():
+                total += coeff
+            else:
+                total += coeff * self.expectation_pauli(term)
+        return float(np.real(total))
+
+    def probability_of_bit(self, qubit: int, value: int) -> float:
+        """Probability of measuring ``qubit`` in ``value`` (0/1)."""
+        idx = [slice(None)] * self.n_qubits
+        idx[qubit] = value
+        return float(np.sum(np.abs(self.state[tuple(idx)]) ** 2))
+
+    def amplitude(self, bits: str) -> complex:
+        """Amplitude of a computational basis state given as a bitstring."""
+        if len(bits) != self.n_qubits:
+            raise ValidationError("bitstring length mismatch")
+        return complex(self.state[tuple(int(b) for b in bits)])
+
+
+_PAULIS = {
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}

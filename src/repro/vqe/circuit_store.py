@@ -1,0 +1,102 @@
+"""Circuit storage schemes - the memory-efficient optimization of Sec. III-D.
+
+A VQE over M Pauli strings nominally needs M circuits, each = (identical
+ansatz prefix) + (string-specific measurement part).  For benzene the paper
+counts 330816 strings; replicating the ansatz per circuit "brings a lot of
+pressure on the memory space of CGs" and re-synchronizing all circuits each
+optimization step costs time.  The fix: keep ONE ansatz replica per process,
+build the measurement parts on the fly during the first energy evaluation,
+and keep them constant afterwards.
+
+:class:`ReplicatedCircuitStore` implements the naive scheme and
+:class:`SharedAnsatzCircuitStore` the paper's scheme; the Fig. 9 benchmark
+measures the ~15x per-iteration speedup and ~20x memory ratio between them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.operators.pauli import PauliTerm
+from repro.vqe.energy import hadamard_test_circuit
+
+
+def _gadget(ansatz: Circuit, term: PauliTerm) -> Circuit:
+    """Hadamard-test measurement gadget on the ansatz register.
+
+    The ansatz register's last qubit is the ancilla (the paper's Fig. 5
+    layout: q4 for the 4-qubit H2 problem), so the gadget stays within the
+    existing width.
+    """
+    g = hadamard_test_circuit(term, ansatz.n_qubits - 1,
+                              ancilla=ansatz.n_qubits - 1)
+    if g.n_qubits < ansatz.n_qubits:
+        g = Circuit(n_qubits=ansatz.n_qubits, gates=list(g.gates),
+                    n_parameters=0)
+    return g
+
+
+class ReplicatedCircuitStore:
+    """Naive storage: one full (ansatz + measurement) circuit per string.
+
+    Every :meth:`bind` call rebuilds and rebinds all M full circuits -
+    modelling the per-step circuit synchronization overhead of the naive
+    distributed scheme.
+    """
+
+    def __init__(self, ansatz: Circuit, terms: list[PauliTerm]):
+        self.ansatz = ansatz
+        self.terms = list(terms)
+        self.circuits: list[Circuit] = [
+            ansatz.compose(_gadget(ansatz, t)) for t in self.terms
+        ]
+
+    def n_circuits(self) -> int:
+        return len(self.circuits)
+
+    def memory_bytes(self) -> int:
+        return sum(c.memory_bytes() for c in self.circuits)
+
+    def bind(self, theta: np.ndarray) -> list[Circuit]:
+        """Rebind all full circuits (the expensive naive per-step path)."""
+        return [c.bind(theta) for c in self.circuits]
+
+
+class SharedAnsatzCircuitStore:
+    """Paper scheme: one ansatz replica + cached measurement parts.
+
+    Measurement gadgets are constructed lazily on first access ("on-the-fly
+    in the first energy evaluation") and reused verbatim afterwards; binding
+    touches only the single ansatz replica.
+    """
+
+    def __init__(self, ansatz: Circuit, terms: list[PauliTerm]):
+        self.ansatz = ansatz
+        self.terms = list(terms)
+        self._gadgets: dict[PauliTerm, Circuit] = {}
+
+    def measurement_circuit(self, term: PauliTerm) -> Circuit:
+        g = self._gadgets.get(term)
+        if g is None:
+            g = _gadget(self.ansatz, term)
+            self._gadgets[term] = g
+        return g
+
+    def n_circuits(self) -> int:
+        return len(self.terms)
+
+    def memory_bytes(self) -> int:
+        total = self.ansatz.memory_bytes()
+        for g in self._gadgets.values():
+            total += g.memory_bytes()
+        return total
+
+    def bind(self, theta: np.ndarray) -> Circuit:
+        """Bind only the shared ansatz replica."""
+        return self.ansatz.bind(theta)
+
+    def materialize_all(self) -> None:
+        """Force-build every gadget (the 'first energy evaluation' step)."""
+        for t in self.terms:
+            self.measurement_circuit(t)

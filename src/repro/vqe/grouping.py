@@ -1,0 +1,75 @@
+"""Partitioning of Pauli strings over processes (the second parallel level).
+
+The paper (Sec. III-C/D) maps mutually exclusive subsets of Pauli strings to
+MPI processes and highlights an "adapted dynamical load balancing algorithm".
+Strings have different evaluation costs - a string of weight w touching a
+span of qubits costs roughly its span in MPS transfer-matrix steps - so we
+provide block, round-robin and cost-aware LPT (longest processing time)
+partitioning; the scheduler tests assert LPT's makespan bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.common.errors import ValidationError
+from repro.operators.pauli import PauliTerm, QubitOperator
+
+
+def estimate_term_cost(term: PauliTerm) -> float:
+    """Relative cost of measuring one Pauli string on an MPS.
+
+    The transfer contraction of Eq. 11 runs over the contiguous range
+    spanning the support, so cost ~ span; the identity term is free.
+    """
+    ops = term.ops()
+    if not ops:
+        return 0.0
+    qubits = [q for q, _ in ops]
+    return float(max(qubits) - min(qubits) + 1)
+
+
+def partition_pauli_terms(hamiltonian: QubitOperator, n_groups: int,
+                          strategy: str = "lpt"
+                          ) -> list[list[tuple[PauliTerm, complex]]]:
+    """Split the Hamiltonian's terms into ``n_groups`` disjoint subsets.
+
+    Strategies
+    ----------
+    ``block``:
+        Contiguous chunks in term order.
+    ``round_robin``:
+        Term i goes to group i mod n_groups.
+    ``lpt``:
+        Greedy longest-processing-time: sort by estimated cost descending,
+        always assign to the currently lightest group.  Guarantees makespan
+        <= (4/3 - 1/(3m)) * optimal.
+    """
+    if n_groups < 1:
+        raise ValidationError("need at least one group")
+    items = [(t, c) for t, c in hamiltonian if not t.is_identity()]
+    groups: list[list[tuple[PauliTerm, complex]]] = [[] for _ in range(n_groups)]
+    if strategy == "block":
+        size = (len(items) + n_groups - 1) // max(1, n_groups)
+        for g in range(n_groups):
+            groups[g] = items[g * size:(g + 1) * size]
+    elif strategy == "round_robin":
+        for i, it in enumerate(items):
+            groups[i % n_groups].append(it)
+    elif strategy == "lpt":
+        order = sorted(items, key=lambda it: estimate_term_cost(it[0]),
+                       reverse=True)
+        heap = [(0.0, g) for g in range(n_groups)]
+        heapq.heapify(heap)
+        for it in order:
+            load, g = heapq.heappop(heap)
+            groups[g].append(it)
+            heapq.heappush(heap, (load + estimate_term_cost(it[0]), g))
+    else:
+        raise ValidationError(f"unknown partition strategy {strategy!r}")
+    return groups
+
+
+def group_loads(groups: list[list[tuple[PauliTerm, complex]]]) -> list[float]:
+    """Estimated cost per group (for load-balance diagnostics)."""
+    return [sum(estimate_term_cost(t) for t, _ in g) for g in groups]

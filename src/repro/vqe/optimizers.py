@@ -1,0 +1,142 @@
+"""Classical optimizers driving the VQE loop.
+
+Three families, all consuming a plain ``f(theta) -> float`` callable:
+
+* :func:`minimize_scipy` - bridge to scipy.optimize (COBYLA / L-BFGS-B /
+  Nelder-Mead), the workhorse for exact noiseless simulation;
+* :func:`minimize_spsa` - simultaneous perturbation stochastic approximation,
+  the measurement-frugal optimizer relevant on hardware (2 evaluations per
+  step regardless of parameter count);
+* :func:`minimize_adam` - Adam on central finite-difference gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+from scipy import optimize as sopt
+
+from repro.common.errors import ValidationError
+from repro.common.rng import default_rng
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a classical minimization run."""
+
+    x: np.ndarray
+    fun: float
+    n_evaluations: int
+    n_iterations: int
+    converged: bool
+    history: list[float] = field(default_factory=list)
+    message: str = ""
+
+
+def minimize_scipy(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
+                   method: str = "COBYLA", tolerance: float = 1e-8,
+                   max_iterations: int = 2000) -> OptimizationResult:
+    """Minimize with scipy; records an energy history via a wrapper."""
+    history: list[float] = []
+    calls = [0]
+
+    def wrapped(x: np.ndarray) -> float:
+        calls[0] += 1
+        val = f(np.asarray(x, dtype=float))
+        history.append(val)
+        return val
+
+    res = sopt.minimize(wrapped, np.asarray(x0, dtype=float), method=method,
+                        tol=tolerance,
+                        options={"maxiter": max_iterations})
+    return OptimizationResult(
+        x=np.asarray(res.x, dtype=float),
+        fun=float(res.fun),
+        n_evaluations=calls[0],
+        n_iterations=int(getattr(res, "nit", calls[0])),
+        converged=bool(res.success),
+        history=history,
+        message=str(res.message),
+    )
+
+
+def minimize_spsa(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
+                  max_iterations: int = 300, a: float = 0.1, c: float = 0.1,
+                  alpha: float = 0.602, gamma: float = 0.101,
+                  seed: int | None = None,
+                  tolerance: float = 0.0) -> OptimizationResult:
+    """SPSA with the standard gain sequences a_k = a/(k+1)^alpha etc."""
+    rng = default_rng(seed)
+    x = np.asarray(x0, dtype=float).copy()
+    if x.ndim != 1:
+        raise ValidationError("x0 must be a vector")
+    history: list[float] = []
+    evals = 0
+    best_x, best_f = x.copy(), np.inf
+    for k in range(max_iterations):
+        ak = a / (k + 1) ** alpha
+        ck = c / (k + 1) ** gamma
+        delta = rng.choice([-1.0, 1.0], size=x.size)
+        fp = f(x + ck * delta)
+        fm = f(x - ck * delta)
+        evals += 2
+        ghat = (fp - fm) / (2.0 * ck) * delta
+        x = x - ak * ghat
+        cur = min(fp, fm)
+        history.append(cur)
+        if cur < best_f:
+            best_f, best_x = cur, x.copy()
+        if tolerance > 0.0 and k > 10:
+            recent = history[-5:]
+            if max(recent) - min(recent) < tolerance:
+                break
+    final = f(best_x)
+    evals += 1
+    return OptimizationResult(
+        x=best_x, fun=float(final), n_evaluations=evals,
+        n_iterations=len(history), converged=True, history=history,
+        message="SPSA budget exhausted or plateaued",
+    )
+
+
+def minimize_adam(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
+                  max_iterations: int = 200, learning_rate: float = 0.05,
+                  beta1: float = 0.9, beta2: float = 0.999,
+                  eps: float = 1e-8, fd_step: float = 1e-4,
+                  tolerance: float = 1e-8) -> OptimizationResult:
+    """Adam on central finite-difference gradients (2p evals per step)."""
+    x = np.asarray(x0, dtype=float).copy()
+    m = np.zeros_like(x)
+    v = np.zeros_like(x)
+    history: list[float] = []
+    evals = 0
+    prev = np.inf
+    for k in range(1, max_iterations + 1):
+        g = np.zeros_like(x)
+        for i in range(x.size):
+            e = np.zeros_like(x)
+            e[i] = fd_step
+            g[i] = (f(x + e) - f(x - e)) / (2.0 * fd_step)
+            evals += 2
+        m = beta1 * m + (1 - beta1) * g
+        v = beta2 * v + (1 - beta2) * g * g
+        mhat = m / (1 - beta1 ** k)
+        vhat = v / (1 - beta2 ** k)
+        x = x - learning_rate * mhat / (np.sqrt(vhat) + eps)
+        cur = f(x)
+        evals += 1
+        history.append(cur)
+        if abs(prev - cur) < tolerance:
+            return OptimizationResult(
+                x=x, fun=float(cur), n_evaluations=evals,
+                n_iterations=k, converged=True, history=history,
+                message="converged on energy change",
+            )
+        prev = cur
+    return OptimizationResult(
+        x=x, fun=float(history[-1]), n_evaluations=evals,
+        n_iterations=max_iterations, converged=False, history=history,
+        message="iteration budget exhausted",
+    )

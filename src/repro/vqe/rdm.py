@@ -1,0 +1,67 @@
+"""Reduced density matrices measured on a simulated quantum state.
+
+DMET's self-consistency loop needs the fragment's spin-summed 1-RDM (for the
+electron count) and 2-RDM (for the democratic-partitioning energy) from the
+VQE solution - step 4 of the paper's Sec. III-B procedure.  Both are obtained
+the same way the energy is: as expectation values of Jordan-Wigner-mapped
+operators on the final ansatz state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.operators.fermion import FermionOperator
+from repro.operators.jordan_wigner import jordan_wigner
+from repro.operators.pauli import QubitOperator
+
+
+def _spin_summed_excitation(p: int, q: int) -> FermionOperator:
+    """E_pq = sum_sigma a+_{p sigma} a_{q sigma} (interleaved spin orbitals)."""
+    op = FermionOperator.zero()
+    for s in (0, 1):
+        op = op + FermionOperator.from_term([(2 * p + s, 1), (2 * q + s, 0)])
+    return op
+
+
+def excitation_qubit_operators(n_spatial: int) -> dict[tuple[int, int],
+                                                       QubitOperator]:
+    """JW images of every spin-summed E_pq (cached by callers)."""
+    return {
+        (p, q): jordan_wigner(_spin_summed_excitation(p, q))
+        for p in range(n_spatial) for q in range(n_spatial)
+    }
+
+
+def measure_rdms(sim, n_spatial: int,
+                 e_ops: dict[tuple[int, int], QubitOperator] | None = None
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Spin-summed (gamma_pq, Gamma_pqrs) from a simulator state.
+
+    ``sim`` is any simulator exposing ``expectation(QubitOperator)``.
+    Chemists' pairing convention: Gamma_pqrs = <E_pq E_rs> - delta_qr <E_ps>,
+    so that E = const + sum h gamma + 1/2 sum (pq|rs) Gamma.
+    """
+    if e_ops is None:
+        e_ops = excitation_qubit_operators(n_spatial)
+    m = n_spatial
+    gamma = np.zeros((m, m))
+    for p in range(m):
+        for q in range(p, m):
+            val = sim.expectation(e_ops[(p, q)])
+            gamma[p, q] = val
+            gamma[q, p] = val  # real wavefunctions: gamma is symmetric
+    g2 = np.zeros((m, m, m, m))
+    for p in range(m):
+        for q in range(m):
+            for r in range(m):
+                for s in range(m):
+                    if (p, q, r, s) > (r, s, p, q):
+                        continue  # Gamma_pqrs = Gamma_rspq
+                    prod = e_ops[(p, q)] * e_ops[(r, s)]
+                    val = sim.expectation(prod)
+                    if q == r:
+                        val -= gamma[p, s]
+                    g2[p, q, r, s] = val
+                    g2[r, s, p, q] = val
+    return gamma, g2

@@ -1,0 +1,145 @@
+"""The VQE driver: ansatz + Hamiltonian + optimizer + simulator.
+
+Mirrors the paper's Fig. 4 workflow for a single process group: broadcast
+parameters, evaluate all Pauli-string expectations, reduce to the energy,
+hand it to the optimizer, repeat.  The distributed version of the same loop
+lives in :mod:`repro.parallel.threelevel`; this class is the sequential
+kernel it distributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.circuits.circuit import Circuit
+from repro.circuits.uccsd import UCCSDAnsatz
+from repro.operators.pauli import QubitOperator
+from repro.vqe.energy import EnergyEvaluator
+from repro.vqe.optimizers import (
+    OptimizationResult,
+    minimize_adam,
+    minimize_scipy,
+    minimize_spsa,
+)
+from repro.vqe.rdm import measure_rdms
+
+
+@dataclass
+class VQEResult:
+    """Converged VQE state."""
+
+    energy: float
+    parameters: np.ndarray
+    history: list[float] = field(default_factory=list)
+    n_evaluations: int = 0
+    n_iterations: int = 0
+    converged: bool = True
+    optimizer: str = ""
+
+    def energy_error(self, reference: float) -> float:
+        """Absolute error against a reference (e.g. FCI) energy."""
+        return abs(self.energy - reference)
+
+
+class VQE:
+    """Variational quantum eigensolver.
+
+    Parameters
+    ----------
+    hamiltonian:
+        Qubit Hamiltonian.
+    ansatz:
+        Parametric circuit, or a :class:`UCCSDAnsatz` (its circuit is built).
+    simulator / method / max_bond_dimension:
+        Forwarded to :class:`EnergyEvaluator`.
+    optimizer:
+        "cobyla" | "l-bfgs-b" | "nelder-mead" | "spsa" | "adam".
+    """
+
+    def __init__(self, hamiltonian: QubitOperator,
+                 ansatz: Circuit | UCCSDAnsatz, *,
+                 simulator: str = "mps", method: str = "direct",
+                 max_bond_dimension: int | None = None,
+                 optimizer: str = "cobyla", tolerance: float = 1e-8,
+                 max_iterations: int = 2000):
+        self.uccsd = ansatz if isinstance(ansatz, UCCSDAnsatz) else None
+        if simulator == "fast":
+            # permutation+phase dense path: requires the structured ansatz
+            if self.uccsd is None:
+                raise ValidationError(
+                    "simulator='fast' requires a UCCSDAnsatz"
+                )
+            from repro.vqe.fast_sv import FastUCCEvaluator
+
+            self.evaluator = FastUCCEvaluator(hamiltonian, self.uccsd)
+            self.n_parameters = self.uccsd.n_parameters
+        else:
+            circuit = (ansatz.circuit() if isinstance(ansatz, UCCSDAnsatz)
+                       else ansatz)
+            if circuit.n_parameters == 0:
+                raise ValidationError("ansatz has no variational parameters")
+            self.evaluator = EnergyEvaluator(
+                hamiltonian, circuit, simulator=simulator, method=method,
+                max_bond_dimension=max_bond_dimension)
+            self.n_parameters = circuit.n_parameters
+        self.optimizer = optimizer.lower()
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+
+    def run(self, initial_parameters: np.ndarray | None = None,
+            seed: int | None = None) -> VQEResult:
+        """Minimize the energy; returns the best parameters found."""
+        if initial_parameters is None:
+            x0 = np.zeros(self.n_parameters)
+        else:
+            x0 = np.asarray(initial_parameters, dtype=float)
+            if x0.size != self.n_parameters:
+                raise ValidationError(
+                    f"need {self.n_parameters} parameters, got {x0.size}"
+                )
+        res = self._dispatch(x0, seed)
+        return VQEResult(
+            energy=float(res.fun),
+            parameters=res.x,
+            history=res.history,
+            n_evaluations=res.n_evaluations,
+            n_iterations=res.n_iterations,
+            converged=res.converged,
+            optimizer=self.optimizer,
+        )
+
+    def _dispatch(self, x0: np.ndarray, seed: int | None) -> OptimizationResult:
+        f = self.evaluator
+        if self.optimizer in ("cobyla", "l-bfgs-b", "nelder-mead", "slsqp",
+                              "powell", "bfgs"):
+            return minimize_scipy(f, x0, method=self.optimizer.upper(),
+                                  tolerance=self.tolerance,
+                                  max_iterations=self.max_iterations)
+        if self.optimizer == "spsa":
+            return minimize_spsa(f, x0, max_iterations=self.max_iterations,
+                                 seed=seed)
+        if self.optimizer == "adam":
+            return minimize_adam(f, x0, max_iterations=self.max_iterations,
+                                 tolerance=self.tolerance)
+        raise ValidationError(f"unknown optimizer {self.optimizer!r}")
+
+    # -- post-processing --------------------------------------------------------
+
+    def reduced_density_matrices(self, parameters: np.ndarray
+                                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Spin-summed (1-RDM, 2-RDM) of |psi(parameters)>.
+
+        Requires the qubit register to hold interleaved spin orbitals (the
+        molecular convention); n_spatial = n_qubits / 2.
+        """
+        n_qubits = self.evaluator.n_qubits
+        if n_qubits % 2:
+            raise ValidationError(
+                "RDM measurement expects an even qubit count "
+                "(interleaved spin orbitals)"
+            )
+        sim = self.evaluator.final_state(parameters)
+        return measure_rdms(sim, n_qubits // 2)

@@ -1,0 +1,108 @@
+"""Tests for basis-set machinery and embedded data."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.chem.basis import (
+    BasisShell,
+    cartesian_components,
+    get_basis,
+    primitive_norm,
+)
+from repro.chem.basis.data import BASIS_LIBRARY
+from repro.chem.geometry import h2, lih, water, Molecule
+
+
+class TestCartesianComponents:
+    def test_counts(self):
+        assert len(cartesian_components(0)) == 1
+        assert len(cartesian_components(1)) == 3
+        assert len(cartesian_components(2)) == 6
+
+    def test_d_order(self):
+        comps = cartesian_components(2)
+        assert comps[0] == (2, 0, 0)  # xx first
+        assert (1, 1, 0) in comps
+        assert all(sum(c) == 2 for c in comps)
+
+
+class TestPrimitiveNorm:
+    def test_s_norm_integral(self):
+        """Normalized s Gaussian integrates |phi|^2 to 1 (analytic)."""
+        a = 0.8
+        n = primitive_norm(a, 0, 0, 0)
+        # \int exp(-2 a r^2) = (pi/2a)^{3/2}
+        assert n ** 2 * (np.pi / (2 * a)) ** 1.5 == pytest.approx(1.0)
+
+    def test_p_norm_integral(self):
+        a = 1.3
+        n = primitive_norm(a, 1, 0, 0)
+        # \int x^2 exp(-2a r^2) = (1/(4a)) (pi/2a)^{3/2}
+        val = n ** 2 * (np.pi / (2 * a)) ** 1.5 / (4 * a)
+        assert val == pytest.approx(1.0)
+
+
+class TestBasisShell:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            BasisShell(l=0, center=(0, 0, 0), exponents=(1.0, 2.0),
+                       coefficients=(1.0,))
+
+    def test_negative_exponent(self):
+        with pytest.raises(ValidationError):
+            BasisShell(l=0, center=(0, 0, 0), exponents=(-1.0,),
+                       coefficients=(1.0,))
+
+    def test_component_count(self):
+        sh = BasisShell(l=1, center=(0, 0, 0), exponents=(1.0,),
+                        coefficients=(1.0,))
+        assert sh.n_components == 3
+
+    def test_contracted_normalization(self, ):
+        """Contracted STO-3G H 1s should have unit self-overlap."""
+        from repro.chem.integrals import IntegralEngine
+
+        mol = Molecule.from_angstrom([("H", 0, 0, 0)])
+        basis = get_basis(mol, "sto-3g")
+        s = IntegralEngine(mol, basis).overlap()
+        assert s[0, 0] == pytest.approx(1.0, abs=1e-10)
+
+
+class TestGetBasis:
+    def test_h2_sto3g(self):
+        basis = get_basis(h2(), "sto-3g")
+        assert basis.n_ao == 2
+        assert basis.max_l() == 0
+
+    def test_water_sto3g_shape(self):
+        basis = get_basis(water(), "sto-3g")
+        # O: 1s, 2s, 2p(x3); H: 1s each -> 7
+        assert basis.n_ao == 7
+        assert basis.max_l() == 1
+
+    def test_lih_atoms(self):
+        basis = get_basis(lih(), "sto-3g")
+        assert basis.n_ao == 6
+        assert len(basis.aos_on_atom(0)) == 5  # Li: 1s 2s 2p
+        assert len(basis.aos_on_atom(1)) == 1  # H: 1s
+
+    def test_unknown_basis(self):
+        with pytest.raises(ValidationError):
+            get_basis(h2(), "def2-tzvp")
+
+    def test_missing_element(self):
+        mol = Molecule.from_angstrom([("Ne", 0, 0, 0)])
+        with pytest.raises(ValidationError):
+            get_basis(mol, "6-31g")  # 6-31G table only has H, C, N, O
+
+    def test_case_insensitive(self):
+        basis = get_basis(h2(), "STO-3G")
+        assert basis.n_ao == 2
+
+    def test_library_contents(self):
+        assert set(BASIS_LIBRARY) == {"sto-3g", "6-31g", "cc-pvdz"}
+        assert "H" in BASIS_LIBRARY["sto-3g"]
+        assert "Ne" in BASIS_LIBRARY["sto-3g"]
+        # cc-pVDZ carbon has a d shell
+        assert any(l == 2 for l, _, _ in BASIS_LIBRARY["cc-pvdz"]["C"])

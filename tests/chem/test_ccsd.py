@@ -1,0 +1,69 @@
+"""Tests for spin-orbital CCSD."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.chem.ccsd import CCSDSolver
+from repro.chem.mo import MOIntegrals
+
+
+class TestCCSD:
+    def test_h2_equals_fci(self, h2):
+        """CCSD is exact for two electrons."""
+        res = CCSDSolver(h2.mo).run()
+        assert res.energy == pytest.approx(h2.fci.energy, abs=1e-8)
+
+    def test_hf_energy_matches_scf(self, h2):
+        res = CCSDSolver(h2.mo).run()
+        assert res.hf_energy == pytest.approx(h2.scf.energy, abs=1e-8)
+
+    def test_correlation_negative(self, h2):
+        res = CCSDSolver(h2.mo).run()
+        assert res.correlation_energy < 0
+
+    def test_water_close_to_fci(self, water):
+        """CCSD recovers ~99% of water/STO-3G correlation."""
+        res = CCSDSolver(water.mo).run()
+        corr_fci = water.fci.energy - water.scf.energy
+        assert res.correlation_energy / corr_fci > 0.98
+        assert res.energy == pytest.approx(water.fci.energy, abs=2e-3)
+
+    def test_lih_close_to_fci(self, lih):
+        res = CCSDSolver(lih.mo).run()
+        assert res.energy == pytest.approx(lih.fci.energy, abs=1e-4)
+
+    def test_amplitude_shapes(self, h2):
+        res = CCSDSolver(h2.mo).run()
+        assert res.t1.shape == (2, 2)
+        assert res.t2.shape == (2, 2, 2, 2)
+
+    def test_t2_antisymmetry(self, water):
+        res = CCSDSolver(water.mo).run()
+        assert np.allclose(res.t2, -res.t2.transpose(1, 0, 2, 3), atol=1e-8)
+        assert np.allclose(res.t2, -res.t2.transpose(0, 1, 3, 2), atol=1e-8)
+
+    def test_hubbard_dimer_exact(self):
+        """CCSD (exact for 2e) on the Hubbard dimer, in canonical orbitals.
+
+        CCSD assumes an aufbau reference, so site-basis integrals must first
+        be rotated to the mean-field orbitals.
+        """
+        from repro.chem.lattice import hubbard_chain
+        from repro.dmet.solvers import orthonormal_rhf_density
+
+        lat = hubbard_chain(2, u=2.0, t=1.0)
+        _, c = orthonormal_rhf_density(lat.h1, lat.h2, 2)
+        h1 = c.T @ lat.h1 @ c
+        g = np.einsum("pqrs,pi,qj,rk,sl->ijkl", lat.h2, c, c, c, c,
+                      optimize=True)
+        mo = MOIntegrals(h1=h1, h2=g, constant=0.0, n_electrons=2)
+        cc = CCSDSolver(mo).run()
+        exact = 1.0 - np.sqrt(1.0 + 4.0)
+        assert cc.energy == pytest.approx(exact, abs=1e-7)
+
+    def test_invalid_electron_count(self, h2):
+        bad = MOIntegrals(h1=h2.mo.h1, h2=h2.mo.h2, constant=0.0,
+                          n_electrons=0)
+        with pytest.raises(ValidationError):
+            CCSDSolver(bad)

@@ -1,0 +1,95 @@
+"""Tests for the Davidson-Liu eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConvergenceError, ValidationError
+from repro.chem.davidson import davidson
+
+
+def _random_sparse_symmetric(dim, seed=0, diag_spread=10.0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((dim, dim)) * 0.05
+    a = 0.5 * (a + a.T)
+    a += np.diag(np.linspace(0.0, diag_spread, dim))
+    return a
+
+
+class TestDavidson:
+    def test_lowest_eigenvalue(self):
+        a = _random_sparse_symmetric(200, seed=1)
+        exact = np.linalg.eigvalsh(a)[0]
+        out = davidson(lambda x: a @ x, np.diag(a).copy())
+        assert out.eigenvalues[0] == pytest.approx(exact, abs=1e-8)
+        assert out.residual_norms[0] < 1e-9
+
+    def test_multiple_roots(self):
+        a = _random_sparse_symmetric(150, seed=2)
+        exact = np.linalg.eigvalsh(a)[:3]
+        out = davidson(lambda x: a @ x, np.diag(a).copy(), n_roots=3)
+        assert np.allclose(out.eigenvalues, exact, atol=1e-7)
+
+    def test_eigenvector_quality(self):
+        a = _random_sparse_symmetric(100, seed=3)
+        out = davidson(lambda x: a @ x, np.diag(a).copy())
+        v = out.eigenvectors[:, 0]
+        assert np.linalg.norm(a @ v - out.eigenvalues[0] * v) < 1e-8
+        assert np.linalg.norm(v) == pytest.approx(1.0, abs=1e-10)
+
+    def test_subspace_collapse_path(self):
+        """Small max_subspace forces collapses but must still converge."""
+        a = _random_sparse_symmetric(120, seed=4)
+        exact = np.linalg.eigvalsh(a)[0]
+        out = davidson(lambda x: a @ x, np.diag(a).copy(),
+                       max_subspace=6, max_iterations=500)
+        assert out.eigenvalues[0] == pytest.approx(exact, abs=1e-7)
+
+    def test_initial_guess(self):
+        a = _random_sparse_symmetric(80, seed=5)
+        exact_val, exact_vec = np.linalg.eigh(a)
+        guess = exact_vec[:, 0] + 0.01
+        out = davidson(lambda x: a @ x, np.diag(a).copy(),
+                       initial_guess=guess)
+        assert out.eigenvalues[0] == pytest.approx(exact_val[0], abs=1e-8)
+
+    def test_matvec_count_tracked(self):
+        a = _random_sparse_symmetric(60, seed=6)
+        out = davidson(lambda x: a @ x, np.diag(a).copy())
+        assert out.n_matvecs >= out.n_iterations
+
+    def test_validation(self):
+        a = np.eye(4)
+        with pytest.raises(ValidationError):
+            davidson(lambda x: a @ x, np.ones(4), n_roots=0)
+        with pytest.raises(ValidationError):
+            davidson(lambda x: a @ x, np.ones(4), n_roots=2,
+                     max_subspace=2)
+
+    def test_nonconvergence_raises(self):
+        a = _random_sparse_symmetric(100, seed=7, diag_spread=0.0)
+        with pytest.raises(ConvergenceError):
+            davidson(lambda x: a @ x, np.diag(a).copy(), max_iterations=1,
+                     tolerance=1e-14)
+
+
+class TestFCIDavidson:
+    def test_matches_dense(self, water):
+        from repro.chem.fci import FCISolver
+
+        dav = FCISolver(water.mo, dense_cutoff=1, method="davidson").solve()
+        assert dav.energy == pytest.approx(water.fci.energy, abs=1e-9)
+
+    def test_diagonal_matches_dense(self, h2):
+        from repro.chem.fci import FCISolver
+
+        solver = FCISolver(h2.mo)
+        hdiag = solver.hamiltonian_diagonal().ravel()
+        dense = solver._dense_hamiltonian()
+        assert np.allclose(hdiag, np.diag(dense), atol=1e-12)
+
+    def test_unknown_method(self, h2):
+        from repro.chem.fci import FCISolver
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            FCISolver(h2.mo, method="lanczos")

@@ -1,0 +1,149 @@
+"""Tests for McMurchie-Davidson integrals: analytic values, symmetries,
+literature energies, and the s-only fast path against the general path."""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis import get_basis
+from repro.chem.geometry import Molecule, h2, water
+from repro.chem.integrals import IntegralEngine, boys
+
+
+class TestBoys:
+    def test_f0_at_zero(self):
+        assert boys(0, np.array(0.0))[0] == pytest.approx(1.0)
+
+    def test_fm_at_zero(self):
+        f = boys(4, np.array(0.0))
+        for m in range(5):
+            assert f[m] == pytest.approx(1.0 / (2 * m + 1))
+
+    def test_f0_analytic(self):
+        # F0(x) = sqrt(pi/4x) erf(sqrt(x))
+        from scipy.special import erf
+
+        x = np.array([0.3, 1.7, 9.0])
+        expected = 0.5 * np.sqrt(np.pi / x) * erf(np.sqrt(x))
+        assert np.allclose(boys(0, x)[0], expected, rtol=1e-12)
+
+    def test_downward_recursion_consistency(self):
+        # F_{m}(x) = (2x F_{m+1} + e^-x) / (2m+1)
+        x = np.array([0.5, 2.0, 8.0])
+        f = boys(5, x)
+        for m in range(5):
+            lhs = f[m]
+            rhs = (2 * x * f[m + 1] + np.exp(-x)) / (2 * m + 1)
+            assert np.allclose(lhs, rhs, rtol=1e-10)
+
+    def test_large_argument_asymptotic(self):
+        # F0(x) -> sqrt(pi)/(2 sqrt(x)) for large x
+        x = np.array([50.0])
+        assert boys(0, x)[0] == pytest.approx(
+            np.sqrt(np.pi) / (2 * np.sqrt(50.0)), rel=1e-8)
+
+
+@pytest.fixture(scope="module")
+def h2_engine():
+    mol = h2(0.7414)
+    return IntegralEngine(mol, get_basis(mol, "sto-3g"))
+
+
+@pytest.fixture(scope="module")
+def water_engine():
+    mol = water()
+    return IntegralEngine(mol, get_basis(mol, "sto-3g"))
+
+
+class TestOneElectron:
+    def test_overlap_normalized_diagonal(self, water_engine):
+        s = water_engine.overlap()
+        assert np.allclose(np.diag(s), 1.0, atol=1e-9)
+
+    def test_overlap_symmetric_pd(self, water_engine):
+        s = water_engine.overlap()
+        assert np.allclose(s, s.T)
+        assert np.linalg.eigvalsh(s).min() > 0
+
+    def test_h2_overlap_literature(self, h2_engine):
+        # classic H2/STO-3G overlap at 1.4 a0 is ~0.6593
+        s = h2_engine.overlap()
+        assert s[0, 1] == pytest.approx(0.6593, abs=2e-3)
+
+    def test_kinetic_positive_definite(self, water_engine):
+        t = water_engine.kinetic()
+        assert np.allclose(t, t.T)
+        assert np.linalg.eigvalsh(t).min() > 0
+
+    def test_h2_kinetic_literature(self, h2_engine):
+        t = h2_engine.kinetic()
+        assert t[0, 0] == pytest.approx(0.7600, abs=2e-3)
+        assert t[0, 1] == pytest.approx(0.2365, abs=2e-3)
+
+    def test_h2_nuclear_literature(self, h2_engine):
+        v = h2_engine.nuclear_attraction()
+        assert v[0, 0] == pytest.approx(-1.8804, abs=2e-3)
+
+    def test_nuclear_includes_point_charges(self):
+        base = h2(0.7414)
+        charged = base.with_point_charges([])
+        from repro.chem.geometry import PointCharge
+
+        charged = base.with_point_charges(
+            [PointCharge(charge=1.0, position=(0, 0, 50.0))])
+        v0 = IntegralEngine(base, get_basis(base, "sto-3g")
+                            ).nuclear_attraction()
+        v1 = IntegralEngine(charged, get_basis(charged, "sto-3g")
+                            ).nuclear_attraction()
+        # a +1 charge 50 bohr away shifts the potential by ~ -1/50 per e
+        assert v1[0, 0] - v0[0, 0] == pytest.approx(-1.0 / 50.0, abs=1e-3)
+
+
+class TestERI:
+    def test_h2_eri_literature(self, h2_engine):
+        g = h2_engine.eri()
+        assert g[0, 0, 0, 0] == pytest.approx(0.7746, abs=2e-3)
+        assert g[0, 0, 1, 1] == pytest.approx(0.5697, abs=2e-3)
+
+    def test_eightfold_symmetry(self, water_engine):
+        g = water_engine.eri()
+        assert np.allclose(g, g.transpose(1, 0, 2, 3))
+        assert np.allclose(g, g.transpose(0, 1, 3, 2))
+        assert np.allclose(g, g.transpose(2, 3, 0, 1))
+
+    def test_s_only_fast_path_matches_general(self):
+        """The reduceat fast path must equal the general MD path."""
+        mol = Molecule.from_angstrom(
+            [("H", 0, 0, 0), ("H", 0, 0, 0.9), ("H", 0.7, 0.3, 1.8)],
+            charge=1)
+        eng = IntegralEngine(mol, get_basis(mol, "sto-3g"))
+        fast = eng._eri_s_only()
+        general = eng._eri_general()
+        assert np.allclose(fast, general, atol=1e-12)
+
+    def test_eri_positivity(self, water_engine):
+        # (ii|ii) > 0 for any orbital
+        g = water_engine.eri()
+        for i in range(g.shape[0]):
+            assert g[i, i, i, i] > 0
+
+    def test_cache_returns_same_array(self, h2_engine):
+        assert h2_engine.eri() is h2_engine.eri()
+
+
+class TestHigherAngularMomentum:
+    def test_p_function_overlap_orthogonality(self):
+        """px/py/pz on the same center are mutually orthogonal."""
+        mol = Molecule.from_angstrom([("O", 0, 0, 0)], charge=-2)
+        eng = IntegralEngine(mol, get_basis(mol, "sto-3g"))
+        s = eng.overlap()
+        # AOs: 1s, 2s, 2px, 2py, 2pz
+        for i in range(2, 5):
+            for j in range(2, 5):
+                if i != j:
+                    assert abs(s[i, j]) < 1e-12
+
+    def test_s_p_same_center_orthogonal(self):
+        mol = Molecule.from_angstrom([("C", 0, 0, 0)])
+        eng = IntegralEngine(mol, get_basis(mol, "sto-3g"))
+        s = eng.overlap()
+        assert abs(s[0, 2]) < 1e-12  # 1s - 2px

@@ -1,0 +1,104 @@
+"""Tests for Hubbard / PPP lattice Hamiltonians (the C18 substitution)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.chem.lattice import (
+    LatticeHamiltonian,
+    hubbard_chain,
+    hubbard_ring,
+    ppp_carbon_ring,
+)
+
+
+class TestHubbard:
+    def test_shapes(self):
+        lat = hubbard_ring(6)
+        assert lat.h1.shape == (6, 6)
+        assert lat.h2.shape == (6, 6, 6, 6)
+        assert lat.n_electrons == 6
+
+    def test_ring_vs_chain_connectivity(self):
+        ring = hubbard_ring(5, t=1.0)
+        chain = hubbard_chain(5, t=1.0)
+        assert ring.h1[0, 4] == -1.0
+        assert chain.h1[0, 4] == 0.0
+
+    def test_particle_hole_symmetric_spectrum(self):
+        """Half-filled bipartite Hubbard: one-body spectrum symmetric."""
+        lat = hubbard_chain(4, u=0.0)
+        evals = np.linalg.eigvalsh(lat.h1)
+        assert np.allclose(evals, -evals[::-1], atol=1e-12)
+
+    def test_too_small(self):
+        with pytest.raises(ValidationError):
+            hubbard_ring(1)
+
+    def test_custom_filling(self):
+        lat = hubbard_ring(4, n_electrons=2)
+        assert lat.n_electrons == 2
+
+
+class TestPPP:
+    def test_half_filling(self):
+        lat = ppp_carbon_ring(18, bla=0.0)
+        assert lat.n_sites == 18
+        assert lat.n_electrons == 18
+
+    def test_bla_alternates_hoppings(self):
+        lat = ppp_carbon_ring(18, bla=0.1)
+        t_short = -lat.h1[0, 1]
+        t_long = -lat.h1[1, 2]
+        assert t_short > t_long  # shorter bond hops harder
+
+    def test_zero_bla_uniform(self):
+        lat = ppp_carbon_ring(18, bla=0.0)
+        hops = [-lat.h1[i, (i + 1) % 18] for i in range(18)]
+        assert np.ptp(hops) < 1e-12
+
+    def test_ohno_interactions_decay(self):
+        lat = ppp_carbon_ring(18, bla=0.0)
+        v_near = lat.h2[0, 0, 1, 1]
+        v_far = lat.h2[0, 0, 9, 9]
+        assert v_near > v_far > 0
+
+    def test_onsite_u_largest(self):
+        lat = ppp_carbon_ring(18, bla=0.0)
+        assert lat.h2[0, 0, 0, 0] > lat.h2[0, 0, 1, 1]
+
+    def test_elastic_energy_grows_off_natural_length(self):
+        e0 = ppp_carbon_ring(18, bla=0.0,
+                             mean_bond=1.35).metadata["elastic_energy_ev"]
+        e1 = ppp_carbon_ring(18, bla=0.2,
+                             mean_bond=1.35).metadata["elastic_energy_ev"]
+        assert e1 > e0
+
+    def test_bla_symmetry(self):
+        """+BLA and -BLA rings are related by relabeling: same spectrum."""
+        lp = ppp_carbon_ring(10, bla=0.08)
+        lm = ppp_carbon_ring(10, bla=-0.08)
+        assert np.allclose(np.linalg.eigvalsh(lp.h1),
+                           np.linalg.eigvalsh(lm.h1), atol=1e-10)
+        assert lp.constant == pytest.approx(lm.constant, abs=1e-10)
+
+    def test_odd_ring_rejected(self):
+        with pytest.raises(ValidationError):
+            ppp_carbon_ring(9)
+
+    def test_unphysical_bla_rejected(self):
+        with pytest.raises(ValidationError):
+            ppp_carbon_ring(18, bla=3.0)
+
+    def test_to_mo_integrals(self):
+        lat = ppp_carbon_ring(6)
+        mo = lat.to_mo_integrals()
+        assert mo.n_orbitals == 6
+        assert mo.n_qubits == 12
+
+    def test_mean_field_prefers_ring_closure(self):
+        """Sanity: PPP Hamiltonian is hermitian with positive interactions."""
+        lat = ppp_carbon_ring(8)
+        assert np.allclose(lat.h1, lat.h1.T)
+        diag = np.einsum("iiii->i", lat.h2)
+        assert np.all(diag > 0)

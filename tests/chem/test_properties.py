@@ -1,0 +1,95 @@
+"""Tests for dipole moments and Mulliken analysis."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.chem.properties import (
+    AU_TO_DEBYE,
+    correlated_dipole,
+    dipole_moment,
+    mulliken_charges,
+    mulliken_populations,
+    scf_dipole,
+)
+
+
+class TestDipoleIntegrals:
+    def test_symmetric(self, water):
+        d = water.rhf.engine.dipole()
+        for ax in range(3):
+            assert np.allclose(d[ax], d[ax].T, atol=1e-12)
+
+    def test_diagonal_is_center_expectation(self, h2):
+        """<a|z|a> for an s function equals its center's z coordinate."""
+        d = h2.rhf.engine.dipole()
+        centers = [h2.rhf.basis.ao_shell(i).center
+                   for i in range(h2.rhf.basis.n_ao)]
+        for i, c in enumerate(centers):
+            assert d[2, i, i] == pytest.approx(c[2], abs=1e-10)
+
+
+class TestDipoleMoments:
+    def test_water_literature(self, water):
+        _, debye = scf_dipole(water.molecule, water.rhf.engine, water.scf)
+        assert debye == pytest.approx(1.72, abs=0.05)
+
+    def test_h2_zero_by_symmetry(self, h2):
+        _, debye = scf_dipole(h2.molecule, h2.rhf.engine, h2.scf)
+        assert debye == pytest.approx(0.0, abs=1e-10)
+
+    def test_lih_polar(self, lih):
+        _, debye = scf_dipole(lih.molecule, lih.rhf.engine, lih.scf)
+        assert 4.0 < debye < 6.5
+
+    def test_translation_covariance_neutral(self, water):
+        """A neutral molecule's dipole is translation invariant."""
+        from repro.chem.geometry import Molecule
+        from repro.chem.scf import RHF
+
+        shifted_spec = [
+            (a.symbol, *(np.asarray(a.position) * 0.529177210903 + 2.0))
+            for a in water.molecule.atoms
+        ]
+        mol = Molecule.from_angstrom(shifted_spec)
+        rhf = RHF(mol, "sto-3g")
+        res = rhf.run()
+        _, d_shift = scf_dipole(mol, rhf.engine, res)
+        _, d_orig = scf_dipole(water.molecule, water.rhf.engine, water.scf)
+        assert d_shift == pytest.approx(d_orig, abs=1e-6)
+
+    def test_correlated_dipole_from_fci(self, water):
+        """FCI dipole differs slightly from RHF but stays physical."""
+        mu, debye = correlated_dipole(water.molecule, water.rhf.engine,
+                                      water.scf, water.fci.one_rdm)
+        assert 1.4 < debye < 2.0
+
+    def test_dimension_checks(self, water):
+        with pytest.raises(ValidationError):
+            dipole_moment(water.molecule, water.rhf.engine, np.eye(3))
+        with pytest.raises(ValidationError):
+            correlated_dipole(water.molecule, water.rhf.engine, water.scf,
+                              np.eye(2))
+
+
+class TestMulliken:
+    def test_populations_sum_to_electrons(self, water):
+        pops = mulliken_populations(water.rhf.engine, water.scf, 3)
+        assert pops.sum() == pytest.approx(10.0, abs=1e-8)
+
+    def test_charges_neutral(self, water):
+        q = mulliken_charges(water.molecule, water.rhf.engine, water.scf)
+        assert q.sum() == pytest.approx(0.0, abs=1e-8)
+
+    def test_oxygen_negative(self, water):
+        q = mulliken_charges(water.molecule, water.rhf.engine, water.scf)
+        assert q[0] < 0  # oxygen pulls density
+        assert q[1] > 0 and q[2] > 0
+
+    def test_lih_charge_conservation(self, lih):
+        # Mulliken charges in a minimal basis are notoriously small for
+        # LiH (the H 1s function doubles as Li polarization); assert only
+        # the robust invariants
+        q = mulliken_charges(lih.molecule, lih.rhf.engine, lih.scf)
+        assert q.sum() == pytest.approx(0.0, abs=1e-8)
+        assert np.all(np.abs(q) < 1.0)

@@ -1,0 +1,68 @@
+"""Tests for Cauchy-Schwarz ERI screening."""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis import get_basis
+from repro.chem.geometry import Molecule, water
+from repro.chem.integrals import IntegralEngine
+
+
+def _stretched_dimer():
+    """Two LiH units far apart: many negligible cross quartets."""
+    return Molecule.from_angstrom([
+        ("Li", 0, 0, 0), ("H", 0, 0, 1.6),
+        ("Li", 0, 0, 14.0), ("H", 0, 0, 15.6),
+    ])
+
+
+class TestScreening:
+    def test_disabled_by_default(self):
+        mol = water()
+        eng = IntegralEngine(mol, get_basis(mol, "sto-3g"))
+        eng.eri()
+        assert eng.screened_quartets == 0
+
+    def test_tight_threshold_is_exact(self):
+        mol = _stretched_dimer()
+        basis = get_basis(mol, "sto-3g")
+        exact = IntegralEngine(mol, basis).eri()
+        screened_engine = IntegralEngine(mol, basis,
+                                         screening_threshold=1e-14)
+        screened = screened_engine.eri()
+        assert np.allclose(screened, exact, atol=1e-12)
+
+    def test_loose_threshold_skips_work(self):
+        mol = _stretched_dimer()
+        basis = get_basis(mol, "sto-3g")
+        eng = IntegralEngine(mol, basis, screening_threshold=1e-8)
+        eng.eri()
+        assert eng.screened_quartets > 0
+
+    def test_screened_scf_energy_converges(self):
+        """SCF on screened integrals agrees to the screening accuracy."""
+        from repro.chem.scf import RHF
+
+        mol = _stretched_dimer()
+        basis = get_basis(mol, "sto-3g")
+        e_exact = RHF(mol, basis).run().energy
+
+        rhf = RHF(mol, basis)
+        rhf.engine = IntegralEngine(mol, basis, screening_threshold=1e-10)
+        e_screened = rhf.run().energy
+        assert e_screened == pytest.approx(e_exact, abs=1e-7)
+
+    def test_schwarz_bound_is_valid(self):
+        """|(ij|kl)| <= sqrt((ij|ij)) sqrt((kl|kl)) on real integrals."""
+        mol = water()
+        basis = get_basis(mol, "sto-3g")
+        eng = IntegralEngine(mol, basis)
+        g = eng.eri()
+        n = basis.n_ao
+        q = np.sqrt(np.abs(np.einsum("ijij->ij", g)))
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    for l in range(n):
+                        assert abs(g[i, j, k, l]) <= \
+                            q[i, j] * q[k, l] + 1e-10

@@ -1,0 +1,115 @@
+"""Tests for gate fusion and SWAP routing passes."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.rng import default_rng
+from repro.circuits.circuit import Circuit
+from repro.circuits.fusion import fuse_single_qubit_gates
+from repro.circuits.gates import Gate
+from repro.circuits.hea import random_brick_circuit, random_product_layer
+from repro.circuits.routing import route_to_nearest_neighbour
+from repro.simulators.statevector import StatevectorSimulator
+
+
+def _state(circ):
+    return StatevectorSimulator(circ.n_qubits).run(circ).statevector()
+
+
+def _random_mixed_circuit(n=5, seed=3):
+    """Circuit interleaving 1q and 2q gates, some non-adjacent."""
+    rng = default_rng(seed)
+    c = Circuit(n)
+    names1 = ["H", "S", "T", "X", "Y", "Z"]
+    for _ in range(25):
+        if rng.random() < 0.5:
+            q = int(rng.integers(n))
+            c.append(Gate(str(rng.choice(names1)), (q,)))
+        else:
+            a, b = rng.choice(n, size=2, replace=False)
+            c.append(Gate("CX", (int(a), int(b))))
+    return c
+
+
+class TestFusion:
+    def test_preserves_state_random(self):
+        for seed in (1, 2, 3):
+            c = _random_mixed_circuit(seed=seed)
+            fused = fuse_single_qubit_gates(c)
+            assert np.allclose(_state(c), _state(fused), atol=1e-10)
+
+    def test_output_only_u2_u1(self):
+        fused = fuse_single_qubit_gates(_random_mixed_circuit())
+        assert all(g.name in ("U1", "U2") for g in fused)
+
+    def test_reduces_gate_count(self):
+        c = _random_mixed_circuit()
+        fused = fuse_single_qubit_gates(c)
+        assert len(fused) < len(c)
+
+    def test_pure_single_qubit_circuit(self):
+        """No 2q gates: fusion leaves one U1 per touched qubit."""
+        c = random_product_layer(3, seed=0)
+        c2 = c.compose(random_product_layer(3, seed=1))
+        fused = fuse_single_qubit_gates(c2)
+        assert all(g.name == "U1" for g in fused)
+        assert len(fused) == 3
+        assert np.allclose(_state(c2), _state(fused), atol=1e-10)
+
+    def test_trailing_singles_absorbed_backwards(self):
+        c = Circuit(2)
+        c.append(Gate("CX", (0, 1)))
+        c.append(Gate("H", (0,)))
+        fused = fuse_single_qubit_gates(c)
+        assert len(fused) == 1
+        assert np.allclose(_state(c), _state(fused), atol=1e-12)
+
+    def test_merge_two_qubit_runs(self):
+        c = Circuit(2)
+        c.append(Gate("CX", (0, 1)))
+        c.append(Gate("CZ", (0, 1)))
+        c.append(Gate("CX", (1, 0)))  # same pair, reversed order
+        fused = fuse_single_qubit_gates(c)
+        assert len(fused) == 1
+        assert np.allclose(_state(c), _state(fused), atol=1e-12)
+
+    def test_no_merge_flag(self):
+        c = Circuit(2)
+        c.append(Gate("CX", (0, 1)))
+        c.append(Gate("CZ", (0, 1)))
+        fused = fuse_single_qubit_gates(c, merge_two_qubit_runs=False)
+        assert len(fused) == 2
+
+    def test_unbound_rejected(self):
+        c = Circuit(1, n_parameters=1)
+        c.append(Gate("RZ", (0,), param=(0, 1.0)))
+        with pytest.raises(ValidationError):
+            fuse_single_qubit_gates(c)
+
+
+class TestRouting:
+    def test_all_gates_adjacent_after_routing(self):
+        c = _random_mixed_circuit(n=6, seed=9)
+        routed = route_to_nearest_neighbour(c)
+        for g in routed:
+            if g.n_qubits == 2:
+                assert abs(g.qubits[0] - g.qubits[1]) == 1
+
+    def test_preserves_state(self):
+        for seed in (4, 5):
+            c = _random_mixed_circuit(n=5, seed=seed)
+            routed = route_to_nearest_neighbour(c)
+            assert np.allclose(_state(c), _state(routed), atol=1e-10)
+
+    def test_adjacent_circuit_unchanged(self):
+        c = random_brick_circuit(4, 2, seed=0)
+        routed = route_to_nearest_neighbour(c)
+        assert len(routed) == len(c)
+
+    def test_descending_pair(self):
+        c = Circuit(4)
+        c.append(Gate("H", (3,)))
+        c.append(Gate("CX", (3, 0)))  # control above target
+        routed = route_to_nearest_neighbour(c)
+        assert np.allclose(_state(c), _state(routed), atol=1e-12)

@@ -1,0 +1,111 @@
+"""Tests for gate records and matrices."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.circuits.gates import GATE_MATRICES, Gate, controlled_pauli_gate
+
+
+def _is_unitary(m):
+    return np.allclose(m @ m.conj().T, np.eye(m.shape[0]), atol=1e-12)
+
+
+class TestFixedGates:
+    def test_all_fixed_matrices_unitary(self):
+        for name, m in GATE_MATRICES.items():
+            assert _is_unitary(m), name
+
+    def test_cx_action(self):
+        g = Gate("CX", (0, 1))
+        m = g.matrix()
+        # |10> -> |11>
+        v = np.zeros(4)
+        v[2] = 1.0
+        assert np.allclose(m @ v, np.eye(4)[3])
+
+    def test_h_squared_identity(self):
+        h = GATE_MATRICES["H"]
+        assert np.allclose(h @ h, np.eye(2))
+
+    def test_sdg_is_s_dagger(self):
+        assert np.allclose(GATE_MATRICES["SDG"],
+                           GATE_MATRICES["S"].conj().T)
+
+
+class TestRotationGates:
+    @pytest.mark.parametrize("name,pauli", [("RX", "X"), ("RY", "Y"),
+                                            ("RZ", "Z")])
+    def test_rotation_generator(self, name, pauli):
+        """R_P(a) = exp(-i a P / 2)."""
+        from scipy.linalg import expm
+
+        a = 0.731
+        g = Gate(name, (0,), angle=a)
+        expected = expm(-0.5j * a * GATE_MATRICES[pauli])
+        assert np.allclose(g.matrix(), expected, atol=1e-12)
+
+    def test_rzz(self):
+        from scipy.linalg import expm
+
+        a = 0.4
+        zz = np.kron(GATE_MATRICES["Z"], GATE_MATRICES["Z"])
+        g = Gate("RZZ", (0, 1), angle=a)
+        assert np.allclose(g.matrix(), expm(-0.5j * a * zz), atol=1e-12)
+
+    def test_rotation_periodicity(self):
+        g1 = Gate("RZ", (0,), angle=0.3)
+        g2 = Gate("RZ", (0,), angle=0.3 + 4 * np.pi)
+        assert np.allclose(g1.matrix(), g2.matrix(), atol=1e-12)
+
+    def test_unbound_matrix_raises(self):
+        with pytest.raises(ValidationError):
+            Gate("RZ", (0,), param=(0, 1.0)).matrix()
+
+
+class TestBinding:
+    def test_bound_resolves_multiplier(self):
+        g = Gate("RZ", (0,), param=(1, -2.0))
+        b = g.bound(np.array([9.0, 0.25]))
+        assert b.angle == pytest.approx(-0.5)
+        assert b.param is None
+
+    def test_bound_noop_for_fixed(self):
+        g = Gate("H", (0,))
+        assert g.bound(np.zeros(1)) is g
+
+
+class TestValidation:
+    def test_wrong_arity(self):
+        with pytest.raises(ValidationError):
+            Gate("CX", (0,))
+        with pytest.raises(ValidationError):
+            Gate("H", (0, 1))
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(ValidationError):
+            Gate("CX", (1, 1))
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValidationError):
+            Gate("FOO", (0,))
+
+    def test_custom_requires_unitary(self):
+        with pytest.raises(ValidationError):
+            Gate("U2", (0, 1))
+
+    def test_name_normalized(self):
+        assert Gate("h", (0,)).name == "H"
+
+
+class TestControlledPauli:
+    @pytest.mark.parametrize("p", ["X", "Y", "Z"])
+    def test_block_structure(self, p):
+        g = controlled_pauli_gate(0, 1, p)
+        m = g.matrix()
+        assert np.allclose(m[:2, :2], np.eye(2))
+        assert np.allclose(m[2:, 2:], GATE_MATRICES[p])
+
+    def test_bad_pauli(self):
+        with pytest.raises(ValidationError):
+            controlled_pauli_gate(0, 1, "I")

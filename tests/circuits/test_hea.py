@@ -1,0 +1,67 @@
+"""Tests for brick / MPS-inspired ansatz circuits."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.circuits.hea import brick_ansatz, random_brick_circuit
+from repro.simulators.mps_circuit import MPSSimulator
+from repro.simulators.statevector import StatevectorSimulator
+
+
+class TestBrickAnsatz:
+    def test_bond_dimension_bound(self):
+        """Sliding w-qubit windows prepare MPS with D <= 2^(w-1) (Fig. 2c:
+        4-qubit windows -> D = 8)."""
+        circ = brick_ansatz(10, window=4)
+        rng = np.random.default_rng(5)
+        bound = circ.bind(rng.standard_normal(circ.n_parameters))
+        sim = MPSSimulator(10)  # unbounded D: measure what the state needs
+        sim.run(bound)
+        assert sim.max_bond() <= 8
+
+    def test_matches_statevector(self):
+        circ = brick_ansatz(6, window=3)
+        rng = np.random.default_rng(1)
+        bound = circ.bind(rng.standard_normal(circ.n_parameters))
+        sv = StatevectorSimulator(6).run(bound).statevector()
+        mps = MPSSimulator(6).run(bound).statevector()
+        assert abs(np.vdot(sv, mps)) == pytest.approx(1.0, abs=1e-10)
+
+    def test_window_validation(self):
+        with pytest.raises(ValidationError):
+            brick_ansatz(3, window=5)
+        with pytest.raises(ValidationError):
+            brick_ansatz(3, window=1)
+
+    def test_sweeps_multiply_gates(self):
+        one = brick_ansatz(8, window=4, sweeps=1)
+        two = brick_ansatz(8, window=4, sweeps=2)
+        assert len(two) == 2 * len(one)
+        assert two.n_parameters == 2 * one.n_parameters
+
+
+class TestRandomBrick:
+    def test_deterministic_by_seed(self):
+        a = random_brick_circuit(6, 3, seed=7)
+        b = random_brick_circuit(6, 3, seed=7)
+        for ga, gb in zip(a, b):
+            assert np.allclose(ga.unitary, gb.unitary)
+
+    def test_layers_alternate_parity(self):
+        c = random_brick_circuit(6, 2, seed=0)
+        layer0 = [g for g in c][:3]
+        assert all(g.qubits[0] % 2 == 0 for g in layer0)
+
+    def test_gates_unitary(self):
+        for g in random_brick_circuit(5, 2, seed=1):
+            u = g.unitary
+            assert np.allclose(u @ u.conj().T, np.eye(4), atol=1e-12)
+
+    def test_nearest_neighbour_only(self):
+        for g in random_brick_circuit(9, 4, seed=2):
+            assert g.qubits[1] - g.qubits[0] == 1
+
+    def test_too_few_qubits(self):
+        with pytest.raises(ValidationError):
+            random_brick_circuit(1, 1)

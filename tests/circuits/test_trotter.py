@@ -1,0 +1,93 @@
+"""Tests for exp(i phi P) compilation to CNOT staircases."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.common.errors import ValidationError
+from repro.circuits.trotter import pauli_exponential, pauli_rotation_circuit
+from repro.operators.pauli import PauliTerm, pauli_string
+from repro.simulators.statevector import StatevectorSimulator
+
+
+def _circuit_unitary(circuit):
+    """Unitary of a small bound circuit by running basis states."""
+    dim = 2 ** circuit.n_qubits
+    cols = []
+    for b in range(dim):
+        sim = StatevectorSimulator(circuit.n_qubits)
+        vec = np.zeros(dim, dtype=complex)
+        vec[b] = 1.0
+        sim.set_state(vec)
+        sim.run(circuit)
+        cols.append(sim.statevector())
+    return np.array(cols).T
+
+
+@pytest.mark.parametrize("label", ["Z", "X", "Y", "ZZ", "XY", "XX", "YZX",
+                                   "ZIX"])
+def test_exponential_matches_expm(label):
+    n = len(label)
+    term = pauli_string(label)
+    phi = 0.377
+    circ = pauli_exponential(term, n, phi)
+    u = _circuit_unitary(circ)
+    expected = expm(1j * phi * term.matrix(n))
+    # compare up to global phase (should actually be exact here)
+    assert np.allclose(u, expected, atol=1e-10)
+
+
+def test_identity_term_emits_nothing():
+    gates = pauli_rotation_circuit(PauliTerm(0, 0), 3, angle=0.4)
+    assert gates == []
+
+
+def test_zero_angle_is_identity():
+    term = pauli_string("XZY")
+    u = _circuit_unitary(pauli_exponential(term, 3, 0.0))
+    assert np.allclose(u, np.eye(8), atol=1e-12)
+
+
+def test_parametric_form_matches_fixed():
+    term = pauli_string("XY")
+    fixed = pauli_exponential(term, 2, 0.21)
+    from repro.circuits.circuit import Circuit
+
+    par = Circuit(2, n_parameters=1)
+    par.extend(pauli_rotation_circuit(term, 2, param=(0, 0.7)))
+    bound = par.bind(np.array([0.3]))
+    assert np.allclose(_circuit_unitary(fixed), _circuit_unitary(bound),
+                       atol=1e-12)
+
+
+def test_requires_exactly_one_of_angle_param():
+    term = pauli_string("X")
+    with pytest.raises(ValidationError):
+        pauli_rotation_circuit(term, 1)
+    with pytest.raises(ValidationError):
+        pauli_rotation_circuit(term, 1, angle=0.1, param=(0, 1.0))
+
+
+def test_support_outside_register():
+    with pytest.raises(ValidationError):
+        pauli_rotation_circuit(pauli_string([(5, "X")]), 3, angle=0.1)
+
+
+def test_ladder_is_nearest_neighbour_for_contiguous_strings():
+    """JW-style contiguous strings compile to adjacent CNOTs only."""
+    term = pauli_string("XZZY")
+    gates = pauli_rotation_circuit(term, 4, angle=0.5)
+    for g in gates:
+        if g.name == "CX":
+            assert abs(g.qubits[0] - g.qubits[1]) == 1
+
+
+def test_composition_of_commuting_factors():
+    """Product of exponentials of commuting strings == exponential of sum."""
+    a, b = pauli_string("XX"), pauli_string("YY")
+    assert a.commutes_with(b)
+    phi1, phi2 = 0.3, -0.45
+    c = pauli_exponential(a, 2, phi1).compose(pauli_exponential(b, 2, phi2))
+    u = _circuit_unitary(c)
+    expected = expm(1j * (phi1 * a.matrix(2) + phi2 * b.matrix(2)))
+    assert np.allclose(u, expected, atol=1e-10)

@@ -1,0 +1,108 @@
+"""Tests for the UCCSD ansatz builder."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.circuits.uccsd import UCCSDAnsatz, uccsd_circuit
+from repro.simulators.statevector import StatevectorSimulator
+
+
+class TestStructure:
+    def test_h2_parameter_count(self):
+        """H2 (2 orbitals, 2 electrons): 1 single + 1 double."""
+        ansatz = UCCSDAnsatz(2, 2)
+        assert ansatz.n_parameters == 2
+
+    def test_h4_parameter_count(self):
+        """4 orbitals, 4 electrons: 4 singles + C(4+1,2)=10 doubles."""
+        ansatz = UCCSDAnsatz(4, 4)
+        assert ansatz.n_parameters == 14
+
+    def test_singles_only(self):
+        ansatz = UCCSDAnsatz(3, 2, include_doubles=False)
+        assert all(e.label.startswith("s_") for e in ansatz.excitations)
+
+    def test_doubles_only(self):
+        ansatz = UCCSDAnsatz(3, 2, include_singles=False)
+        assert all(e.label.startswith("d_") for e in ansatz.excitations)
+
+    def test_generators_imaginary_coefficients(self):
+        """JW(tau - tau+) = i * sum(real coeffs * Pauli)."""
+        ansatz = UCCSDAnsatz(3, 2)
+        for exc in ansatz.excitations:
+            for _, coeff in exc.pauli_terms:
+                assert isinstance(coeff, float)
+
+    def test_odd_electrons_rejected(self):
+        with pytest.raises(ValidationError):
+            UCCSDAnsatz(3, 3)
+
+    def test_no_virtuals_rejected(self):
+        with pytest.raises(ValidationError):
+            UCCSDAnsatz(2, 4)
+
+
+class TestCircuits:
+    def test_reference_prepares_hf(self):
+        ansatz = UCCSDAnsatz(2, 2)
+        sim = StatevectorSimulator(4).run(ansatz.reference_circuit())
+        # |1100> with qubit 0 the MSB
+        assert abs(sim.amplitude("1100")) == pytest.approx(1.0)
+
+    def test_zero_parameters_give_reference(self):
+        ansatz = UCCSDAnsatz(2, 2)
+        circ = ansatz.circuit().bind(np.zeros(ansatz.n_parameters))
+        sim = StatevectorSimulator(4).run(circ)
+        assert abs(sim.amplitude("1100")) == pytest.approx(1.0)
+
+    def test_particle_number_conserved(self):
+        """UCCSD preserves electron number for any parameters."""
+        from repro.operators.fermion import FermionOperator
+        from repro.operators.jordan_wigner import jordan_wigner
+
+        ansatz = UCCSDAnsatz(2, 2)
+        theta = np.array([0.3, -0.7])
+        circ = ansatz.circuit().bind(theta)
+        sim = StatevectorSimulator(4).run(circ)
+        number = FermionOperator.zero()
+        for p in range(4):
+            number = number + FermionOperator.from_term([(p, 1), (p, 0)])
+        n_op = jordan_wigner(number)
+        assert sim.expectation(n_op) == pytest.approx(2.0, abs=1e-10)
+
+    def test_state_normalized(self):
+        ansatz = UCCSDAnsatz(3, 2)
+        theta = 0.1 * np.arange(ansatz.n_parameters)
+        sim = StatevectorSimulator(6).run(ansatz.circuit().bind(theta))
+        assert sim.norm() == pytest.approx(1.0, abs=1e-10)
+
+    def test_wide_register_for_ancilla(self):
+        ansatz = UCCSDAnsatz(2, 2)
+        circ = ansatz.circuit(n_qubits=5)
+        assert circ.n_qubits == 5
+
+    def test_narrow_register_rejected(self):
+        ansatz = UCCSDAnsatz(2, 2)
+        with pytest.raises(ValidationError):
+            ansatz.circuit(n_qubits=3)
+
+    def test_convenience_function(self):
+        circ, ansatz = uccsd_circuit(2, 2)
+        assert circ.n_parameters == ansatz.n_parameters
+
+    def test_initial_parameters(self):
+        ansatz = UCCSDAnsatz(2, 2)
+        assert np.all(ansatz.initial_parameters("zeros") == 0)
+        r1 = ansatz.initial_parameters("random", seed=1)
+        r2 = ansatz.initial_parameters("random", seed=1)
+        assert np.allclose(r1, r2)
+        with pytest.raises(ValidationError):
+            ansatz.initial_parameters("bogus")
+
+    def test_gate_count_scale_h2(self):
+        """The paper's Fig. 5 quotes ~120 ansatz gates for H2 + 2 X gates."""
+        ansatz = UCCSDAnsatz(2, 2)
+        circ = ansatz.circuit()
+        assert 80 <= len(circ) <= 200
+        assert circ.count_gates()["X"] == 2

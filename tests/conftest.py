@@ -1,0 +1,65 @@
+"""Shared fixtures: small molecules solved once per test session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chem import geometry
+from repro.chem.scf import RHF
+from repro.chem import mo as momod
+from repro.chem.fci import FCISolver
+
+
+class SolvedMolecule:
+    """Bundle of everything the tests need about one molecule."""
+
+    def __init__(self, molecule, basis: str = "sto-3g"):
+        self.molecule = molecule
+        rhf = RHF(molecule, basis)
+        self.rhf = rhf
+        self.scf = rhf.run()
+        self.eri_ao = rhf.engine.eri()
+        momod.attach_eri(self.scf, self.eri_ao)
+        self.mo = momod.from_scf(self.scf)
+        self._fci = None
+
+    @property
+    def fci(self):
+        if self._fci is None:
+            self._fci = FCISolver(self.mo).solve()
+        return self._fci
+
+
+@pytest.fixture(scope="session")
+def h2():
+    """H2/STO-3G at the experimental bond length."""
+    return SolvedMolecule(geometry.h2(0.7414))
+
+@pytest.fixture(scope="session")
+def h4_ring():
+    """H4 ring/STO-3G (the smallest DMET workload)."""
+    return SolvedMolecule(geometry.hydrogen_ring(4, 1.0))
+
+
+@pytest.fixture(scope="session")
+def h6_ring():
+    """H6 ring/STO-3G (nontrivial DMET accuracy check)."""
+    return SolvedMolecule(geometry.hydrogen_ring(6, 1.0))
+
+
+@pytest.fixture(scope="session")
+def lih():
+    """LiH/STO-3G (12 qubits; exercises p functions)."""
+    return SolvedMolecule(geometry.lih())
+
+
+@pytest.fixture(scope="session")
+def water():
+    """H2O/STO-3G (14 qubits; the paper's Fig. 8/9 workload)."""
+    return SolvedMolecule(geometry.water())
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(20220914)

@@ -1,0 +1,155 @@
+"""Tests for the DMET driver: exactness limits, accuracy, mu fitting."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.dmet.dmet import DMET, atoms_per_fragment
+from repro.dmet.orthogonalize import attach_labels, from_lattice, \
+    lowdin_orthogonalize
+from repro.dmet.solvers import FCIFragmentSolver, VQEFragmentSolver
+
+
+@pytest.fixture(scope="module")
+def h6_system(request):
+    h6 = request.getfixturevalue("h6_ring")
+    attach_labels(h6.scf, h6.rhf.basis)
+    return h6, lowdin_orthogonalize(h6.scf, h6.eri_ao)
+
+
+class TestExactLimits:
+    def test_single_fragment_equals_fci(self, h6_system):
+        h6, system = h6_system
+        dmet = DMET(system, [list(range(6))])
+        res = dmet.run(fit_chemical_potential=False)
+        assert res.energy == pytest.approx(h6.fci.energy, abs=1e-8)
+        assert res.chemical_potential == 0.0
+
+    def test_fragments_must_cover(self, h6_system):
+        _, system = h6_system
+        with pytest.raises(ValidationError):
+            DMET(system, [[0, 1], [2, 3]])  # orbitals 4,5 missing
+
+    def test_fragments_must_not_overlap(self, h6_system):
+        _, system = h6_system
+        with pytest.raises(ValidationError):
+            DMET(system, [[0, 1, 2], [2, 3, 4, 5]])
+
+
+class TestAccuracy:
+    def test_h6_two_atom_fragments(self, h6_system):
+        """Paper Fig. 7a claims <0.5% relative error for H rings."""
+        h6, system = h6_system
+        frags = atoms_per_fragment(system, 2)
+        res = DMET(system, frags, all_fragments_equivalent=True).run()
+        rel = abs((res.energy - h6.fci.energy) / h6.fci.energy)
+        assert rel < 0.005
+        assert res.energy < h6.scf.energy  # captures correlation
+
+    def test_equivalence_shortcut_matches_full(self, h6_system):
+        h6, system = h6_system
+        frags = atoms_per_fragment(system, 2)
+        fast = DMET(system, frags, all_fragments_equivalent=True).run()
+        full = DMET(system, frags, all_fragments_equivalent=False).run()
+        assert fast.energy == pytest.approx(full.energy, abs=1e-6)
+
+    def test_electron_count_conserved(self, h6_system):
+        _, system = h6_system
+        frags = atoms_per_fragment(system, 2)
+        res = DMET(system, frags, all_fragments_equivalent=True).run()
+        assert res.n_electrons == pytest.approx(6.0, abs=1e-4)
+
+    def test_vqe_solver_matches_fci_solver(self, h6_system):
+        h6, system = h6_system
+        frags = atoms_per_fragment(system, 2)
+        fci_res = DMET(system, frags, all_fragments_equivalent=True).run()
+        vqe_res = DMET(system, frags,
+                       solver=VQEFragmentSolver(simulator="fast",
+                                                tolerance=1e-9),
+                       all_fragments_equivalent=True).run()
+        assert vqe_res.energy == pytest.approx(fci_res.energy, abs=5e-4)
+
+    def test_result_metadata(self, h6_system):
+        _, system = h6_system
+        frags = atoms_per_fragment(system, 2)
+        res = DMET(system, frags, all_fragments_equivalent=True).run()
+        assert res.max_fragment_qubits() == 8  # 2 frag + 2 bath orbitals
+        assert res.mu_iterations >= 1
+        assert len(res.fragment_energies) == 1  # equivalent shortcut
+
+
+class TestHubbardDMET:
+    def test_hubbard_ring_dmet_vs_fci(self):
+        """Lattice pipeline end to end: Hubbard ring, 2-site fragments."""
+        from repro.chem.lattice import hubbard_ring
+        from repro.chem.fci import FCISolver
+
+        lat = hubbard_ring(6, u=4.0, t=1.0)
+        exact = FCISolver(lat.to_mo_integrals()).solve().energy
+        system = from_lattice(lat)
+        frags = [[0, 1], [2, 3], [4, 5]]
+        res = DMET(system, frags, all_fragments_equivalent=True).run()
+        rel = abs((res.energy - exact) / exact)
+        assert rel < 0.03  # DMET on Hubbard at U=4t: few-percent accuracy
+
+    def test_noninteracting_hubbard_exact(self):
+        """U=0: mean-field is exact, DMET must reproduce it exactly."""
+        from repro.chem.lattice import hubbard_ring
+        from repro.chem.fci import FCISolver
+
+        lat = hubbard_ring(6, u=0.0, t=1.0)
+        exact = FCISolver(lat.to_mo_integrals()).solve().energy
+        system = from_lattice(lat)
+        res = DMET(system, [[0, 1], [2, 3], [4, 5]],
+                   all_fragments_equivalent=True).run()
+        assert res.energy == pytest.approx(exact, abs=1e-7)
+
+
+class TestChemicalPotential:
+    def test_mu_restores_electron_count(self, h6_system):
+        """Without fitting the count can drift; with fitting it must not."""
+        _, system = h6_system
+        frags = atoms_per_fragment(system, 2)
+        dmet = DMET(system, frags, all_fragments_equivalent=True,
+                    mu_tolerance=1e-6)
+        res = dmet.run()
+        assert abs(res.n_electrons - 6.0) < 1e-5
+
+    def test_monotonic_response(self, h6_system):
+        """More negative mu -> fewer electrons on the fragment."""
+        _, system = h6_system
+        frags = atoms_per_fragment(system, 2)
+        dmet = DMET(system, frags, all_fragments_equivalent=True)
+        _, n_minus, _, _ = dmet.evaluate(-0.3)
+        _, n_plus, _, _ = dmet.evaluate(+0.3)
+        assert n_minus < n_plus
+
+    def test_nonconvergence_raises(self, h6_system):
+        from repro.common.errors import ConvergenceError
+
+        _, system = h6_system
+        frags = atoms_per_fragment(system, 2)
+        dmet = DMET(system, frags, all_fragments_equivalent=True,
+                    mu_tolerance=1e-14, max_mu_iterations=2)
+        with pytest.raises(ConvergenceError):
+            dmet.run()
+
+
+class TestAtomsPerFragment:
+    def test_partition_covers(self, h6_system):
+        _, system = h6_system
+        frags = atoms_per_fragment(system, 2)
+        assert len(frags) == 3
+        assert sorted(sum(frags, [])) == list(range(6))
+
+    def test_uneven_division(self, h4_ring):
+        attach_labels(h4_ring.scf, h4_ring.rhf.basis)
+        system = lowdin_orthogonalize(h4_ring.scf, h4_ring.eri_ao)
+        frags = atoms_per_fragment(system, 3)
+        assert len(frags) == 2
+        assert len(frags[0]) == 3 and len(frags[1]) == 1
+
+    def test_invalid_group_size(self, h6_system):
+        _, system = h6_system
+        with pytest.raises(ValidationError):
+            atoms_per_fragment(system, 0)

@@ -1,0 +1,107 @@
+"""Tests for fermionic operator algebra and normal ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ValidationError
+from repro.operators.fermion import FermionOperator
+from repro.operators.jordan_wigner import jordan_wigner
+
+N_MODES = 4
+
+
+def ladder_strategy():
+    return st.tuples(st.integers(0, N_MODES - 1), st.integers(0, 1))
+
+
+def term_strategy():
+    return st.lists(ladder_strategy(), min_size=0, max_size=4)
+
+
+class TestConstruction:
+    def test_from_term(self):
+        op = FermionOperator.from_term([(0, 1), (1, 0)], 2.0)
+        assert len(op) == 1
+
+    def test_bad_ops_rejected(self):
+        with pytest.raises(ValidationError):
+            FermionOperator.from_term([(-1, 1)])
+        with pytest.raises(ValidationError):
+            FermionOperator.from_term([(0, 2)])
+
+    def test_identity(self):
+        op = FermionOperator.identity(3.0)
+        assert op.terms[()] == 3.0
+
+
+class TestAlgebra:
+    def test_dagger_reverses(self):
+        op = FermionOperator.from_term([(0, 1), (1, 0)], 2.0 + 1j)
+        dag = op.dagger()
+        assert dag.terms[((1, 1), (0, 0))] == 2.0 - 1j
+
+    def test_product_concatenates(self):
+        a = FermionOperator.from_term([(0, 1)])
+        b = FermionOperator.from_term([(1, 0)])
+        ab = a * b
+        assert ((0, 1), (1, 0)) in ab.terms
+
+    def test_scalar_multiplication(self):
+        op = FermionOperator.from_term([(0, 1)], 1.0) * 2.0
+        assert op.terms[((0, 1),)] == 2.0
+
+    def test_number_operator_hermitian(self):
+        n0 = FermionOperator.from_term([(0, 1), (0, 0)])
+        assert n0.is_hermitian()
+
+
+class TestNormalOrdering:
+    def test_anticommutator(self):
+        """a_0 a+_0 = 1 - a+_0 a_0."""
+        op = FermionOperator.from_term([(0, 0), (0, 1)]).normal_ordered()
+        assert op.terms.get((), 0.0) == pytest.approx(1.0)
+        assert op.terms.get(((0, 1), (0, 0)), 0.0) == pytest.approx(-1.0)
+
+    def test_different_modes_anticommute(self):
+        """a_0 a+_1 = -a+_1 a_0."""
+        op = FermionOperator.from_term([(0, 0), (1, 1)]).normal_ordered()
+        assert op.terms[((1, 1), (0, 0))] == pytest.approx(-1.0)
+
+    def test_pauli_exclusion(self):
+        """a+_0 a+_0 = 0."""
+        op = FermionOperator.from_term([(0, 1), (0, 1)]).normal_ordered()
+        assert len(op) == 0
+
+    def test_idempotent(self):
+        op = FermionOperator.from_term([(0, 0), (1, 1), (0, 1)], 2.0)
+        once = op.normal_ordered()
+        twice = once.normal_ordered()
+        diff = (once - twice).simplify()
+        assert len(diff) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(term_strategy(), st.integers(-3, 3))
+    def test_normal_ordering_preserves_matrix(self, ops, coeff_int):
+        """JW(op) and JW(normal_ordered(op)) must be the same matrix."""
+        coeff = float(coeff_int) or 1.0
+        op = FermionOperator.from_term(ops, coeff) if ops else \
+            FermionOperator.identity(coeff)
+        m1 = jordan_wigner(op).matrix(N_MODES)
+        m2 = jordan_wigner(op.normal_ordered()).matrix(N_MODES)
+        assert np.allclose(m1, m2, atol=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(term_strategy(), term_strategy())
+    def test_product_matrix_consistency(self, t1, t2):
+        """JW is an algebra homomorphism: JW(ab) = JW(a) JW(b)."""
+        a = FermionOperator.from_term(t1) if t1 else FermionOperator.identity()
+        b = FermionOperator.from_term(t2) if t2 else FermionOperator.identity()
+        lhs = jordan_wigner(a * b).matrix(N_MODES)
+        rhs = jordan_wigner(a).matrix(N_MODES) @ jordan_wigner(b).matrix(N_MODES)
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    def test_n_spin_orbitals(self):
+        op = FermionOperator.from_term([(3, 1), (1, 0)])
+        assert op.n_spin_orbitals() == 4

@@ -1,0 +1,69 @@
+"""Tests for molecular Hamiltonian construction."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.operators.molecular import (
+    molecular_fermion_operator,
+    molecular_qubit_hamiltonian,
+)
+
+
+class TestFermionHamiltonian:
+    def test_hermitian(self, h2):
+        fop = molecular_fermion_operator(h2.mo)
+        assert fop.is_hermitian()
+
+    def test_constant_term(self, h2):
+        fop = molecular_fermion_operator(h2.mo)
+        assert fop.terms[()] == pytest.approx(h2.mo.constant)
+
+
+class TestQubitHamiltonian:
+    def test_h2_term_count(self, h2):
+        """The paper's Fig. 5: H2 under JW has 15 Pauli strings."""
+        ham = molecular_qubit_hamiltonian(h2.mo)
+        assert len(ham) == 15
+
+    def test_hermitian(self, h2):
+        assert molecular_qubit_hamiltonian(h2.mo).is_hermitian()
+
+    def test_ground_state_is_fci(self, h2):
+        ham = molecular_qubit_hamiltonian(h2.mo)
+        evals = np.linalg.eigvalsh(ham.matrix(4))
+        assert evals[0] == pytest.approx(h2.fci.energy, abs=1e-9)
+
+    def test_hf_expectation(self, h2):
+        """<HF|H|HF> = RHF energy: diagonal element of the matrix."""
+        ham = molecular_qubit_hamiltonian(h2.mo)
+        m = ham.matrix(4)
+        hf_index = 0b1100  # qubits 0,1 occupied, MSB first
+        assert m[hf_index, hf_index].real == pytest.approx(
+            h2.scf.energy, abs=1e-8)
+
+    def test_lih_term_count_scales(self, lih):
+        """O(N^4) growth: LiH (12 qubits) has hundreds of strings."""
+        ham = molecular_qubit_hamiltonian(lih.mo)
+        assert 400 < len(ham) < 2000
+
+    def test_commutes_with_number_operator(self, h2):
+        from repro.operators.fermion import FermionOperator
+        from repro.operators.jordan_wigner import jordan_wigner
+
+        ham = molecular_qubit_hamiltonian(h2.mo)
+        number = FermionOperator.zero()
+        for p in range(4):
+            number = number + FermionOperator.from_term([(p, 1), (p, 0)])
+        n_op = jordan_wigner(number)
+        comm = (ham * n_op - n_op * ham).simplify(1e-10)
+        assert len(comm) == 0
+
+    def test_unknown_mapping(self, h2):
+        with pytest.raises(ValidationError):
+            molecular_qubit_hamiltonian(h2.mo, "parity")
+
+    def test_bk_same_ground_state(self, h2):
+        ham = molecular_qubit_hamiltonian(h2.mo, "bravyi_kitaev")
+        evals = np.linalg.eigvalsh(ham.matrix(4))
+        assert evals[0] == pytest.approx(h2.fci.energy, abs=1e-9)

@@ -1,0 +1,147 @@
+"""Tests for the symplectic Pauli algebra, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ValidationError
+from repro.operators.pauli import PauliTerm, QubitOperator, pauli_string
+
+N_QUBITS = 4
+
+
+def term_strategy(n=N_QUBITS):
+    return st.builds(
+        PauliTerm,
+        x=st.integers(min_value=0, max_value=2 ** n - 1),
+        z=st.integers(min_value=0, max_value=2 ** n - 1),
+    )
+
+
+class TestPauliTermBasics:
+    def test_from_label(self):
+        t = PauliTerm.from_label("XIZY")
+        assert t.ops() == [(0, "X"), (2, "Z"), (3, "Y")]
+
+    def test_label_roundtrip(self):
+        t = PauliTerm.from_label("IXYZ")
+        assert t.label(4) == "IXYZ"
+
+    def test_from_ops(self):
+        t = PauliTerm.from_ops([(1, "Y"), (3, "Z")])
+        assert t.label(4) == "IYIZ"
+
+    def test_duplicate_qubit_rejected(self):
+        with pytest.raises(ValidationError):
+            PauliTerm.from_ops([(0, "X"), (0, "Z")])
+
+    def test_bad_char_rejected(self):
+        with pytest.raises(ValidationError):
+            PauliTerm.from_label("XQ")
+
+    def test_weight(self):
+        assert PauliTerm.from_label("IXYZ").weight == 3
+        assert PauliTerm(0, 0).weight == 0
+        assert PauliTerm(0, 0).is_identity()
+
+    def test_pauli_string_helper(self):
+        assert pauli_string("XX") == PauliTerm.from_label("XX")
+        assert pauli_string([(0, "X"), (1, "X")]) == pauli_string("XX")
+
+
+class TestMultiplication:
+    def test_xy_equals_iz(self):
+        x, y = pauli_string("X"), pauli_string("Y")
+        phase, t = x.multiply(y)
+        assert t == pauli_string("Z")
+        assert phase == 1j
+
+    def test_yx_equals_minus_iz(self):
+        phase, t = pauli_string("Y").multiply(pauli_string("X"))
+        assert t == pauli_string("Z")
+        assert phase == -1j
+
+    def test_self_product_identity(self):
+        for ch in "XYZ":
+            phase, t = pauli_string(ch).multiply(pauli_string(ch))
+            assert t.is_identity()
+            assert phase == 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(term_strategy(), term_strategy())
+    def test_product_matches_matrices(self, a, b):
+        """Symplectic product must agree with dense matrix product."""
+        phase, c = a.multiply(b)
+        lhs = a.matrix(N_QUBITS) @ b.matrix(N_QUBITS)
+        rhs = phase * c.matrix(N_QUBITS)
+        assert np.allclose(lhs, rhs, atol=1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(term_strategy(), term_strategy())
+    def test_commutation_predicate(self, a, b):
+        ma, mb = a.matrix(N_QUBITS), b.matrix(N_QUBITS)
+        commutes = np.allclose(ma @ mb, mb @ ma, atol=1e-12)
+        assert a.commutes_with(b) == commutes
+
+    @settings(max_examples=40, deadline=None)
+    @given(term_strategy())
+    def test_hermitian_unitary(self, a):
+        m = a.matrix(N_QUBITS)
+        assert np.allclose(m, m.conj().T)
+        assert np.allclose(m @ m, np.eye(2 ** N_QUBITS))
+
+
+class TestQubitOperator:
+    def test_addition_merges(self):
+        a = QubitOperator.from_term("XX", 1.0)
+        b = QubitOperator.from_term("XX", 2.0)
+        assert (a + b).terms[pauli_string("XX")] == 3.0
+
+    def test_scalar_addition(self):
+        op = QubitOperator.from_term("Z", 1.0) + 2.0
+        assert op.constant() == 2.0
+
+    def test_subtraction_cancels(self):
+        a = QubitOperator.from_term("XY", 1.5)
+        assert len((a - a).simplify()) == 0
+
+    def test_product_phases(self):
+        x = QubitOperator.from_term("X")
+        y = QubitOperator.from_term("Y")
+        z = x * y
+        assert z.terms[pauli_string("Z")] == 1j
+
+    @settings(max_examples=30, deadline=None)
+    @given(term_strategy(), term_strategy(), term_strategy())
+    def test_associativity(self, a, b, c):
+        qa, qb, qc = (QubitOperator.from_term(t, 1.0) for t in (a, b, c))
+        left = (qa * qb) * qc
+        right = qa * (qb * qc)
+        assert np.allclose(left.matrix(N_QUBITS), right.matrix(N_QUBITS))
+
+    def test_dagger(self):
+        op = QubitOperator.from_term("XY", 1j)
+        assert op.dagger().terms[pauli_string("XY")] == -1j
+
+    def test_hermiticity_check(self):
+        assert QubitOperator.from_term("ZZ", 2.0).is_hermitian()
+        assert not QubitOperator.from_term("ZZ", 1j).is_hermitian()
+
+    def test_n_qubits(self):
+        op = QubitOperator.from_term(pauli_string([(5, "X")]))
+        assert op.n_qubits() == 6
+        assert QubitOperator.identity().n_qubits() == 0
+
+    def test_norm(self):
+        op = QubitOperator.from_term("X", 3.0) + QubitOperator.from_term("Y", -4.0)
+        assert op.norm() == pytest.approx(7.0)
+
+    def test_matrix_refuses_large(self):
+        op = QubitOperator.from_term(pauli_string([(20, "Z")]))
+        with pytest.raises(ValidationError):
+            op.matrix()
+
+    def test_simplify_drops_tiny(self):
+        op = QubitOperator.from_term("X", 1e-15) + QubitOperator.from_term("Y", 1.0)
+        assert len(op.simplify()) == 1

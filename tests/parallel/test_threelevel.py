@@ -1,0 +1,66 @@
+"""Tests for the three-level parallel driver."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.parallel.perfmodel import CircuitCostModel
+from repro.parallel.threelevel import ThreeLevelDriver
+
+
+class TestSimulatedMode:
+    def test_report_fields(self):
+        drv = ThreeLevelDriver(processes_per_group=32)
+        rep = drv.simulate(n_fragments=4, n_processes=128, n_iterations=2)
+        assert rep.n_processes == 128
+        assert rep.n_fragments == 4
+        assert rep.makespan_s > 0
+        assert rep.bytes_per_process_per_iteration > 0
+        assert 0.0 <= rep.idle_fraction <= 1.0
+        assert set(rep.breakdown) == {"bcast_s", "compute_s", "reduce_s"}
+
+    def test_communication_is_small_fraction(self):
+        """Paper: 15.6 KB and <1ms comm per iteration - comm must be a tiny
+        share of the makespan."""
+        drv = ThreeLevelDriver(processes_per_group=64)
+        rep = drv.simulate(n_fragments=8, n_processes=512, n_iterations=3)
+        assert rep.breakdown["bcast_s"] + rep.breakdown["reduce_s"] < \
+            0.05 * rep.makespan_s
+        # parameter vector + scalar result, well under the paper's 15.6 KB
+        assert rep.bytes_per_process_per_iteration < 16_000
+
+    def test_more_groups_faster(self):
+        drv = ThreeLevelDriver(processes_per_group=32)
+        slow = drv.simulate(n_fragments=8, n_processes=32)
+        fast = drv.simulate(n_fragments=8, n_processes=256)
+        assert fast.makespan_s < slow.makespan_s
+
+    def test_indivisible_processes_rejected(self):
+        drv = ThreeLevelDriver(processes_per_group=64)
+        with pytest.raises(ValidationError):
+            drv.simulate(n_fragments=2, n_processes=100)
+
+
+class TestLocalMode:
+    def test_threaded_fragments_match_serial(self, h6_ring):
+        """Level-1 parallelism for real: same results as sequential."""
+        from repro.dmet.bath import build_bath
+        from repro.dmet.embedding import build_embedding_hamiltonian
+        from repro.dmet.orthogonalize import attach_labels, \
+            lowdin_orthogonalize
+        from repro.dmet.solvers import FCIFragmentSolver
+
+        attach_labels(h6_ring.scf, h6_ring.rhf.basis)
+        system = lowdin_orthogonalize(h6_ring.scf, h6_ring.eri_ao)
+        problems = [
+            build_embedding_hamiltonian(
+                system, build_bath(system.density, frag))
+            for frag in ([0, 1], [2, 3], [4, 5])
+        ]
+        solver = FCIFragmentSolver()
+        serial = [solver.solve(p, 0.0) for p in problems]
+        parallel = ThreeLevelDriver.run_fragments_local(problems, solver,
+                                                        max_workers=3)
+        for s, p in zip(serial, parallel):
+            assert p.energy == pytest.approx(s.energy, abs=1e-10)
+            assert np.allclose(p.one_rdm, s.one_rdm, atol=1e-10)

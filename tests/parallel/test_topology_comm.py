@@ -1,0 +1,126 @@
+"""Tests for the Sunway machine model and the simulated communicator."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CommunicatorError, ValidationError
+from repro.parallel.comm import SimCluster, SimCommunicator, _payload_bytes
+from repro.parallel.topology import SW26010Pro, SunwayMachine
+
+
+class TestProcessor:
+    def test_core_counts(self):
+        """Paper Sec. II-B: 6 CGs x (1 MPE + 64 CPEs) = 390 cores."""
+        p = SW26010Pro()
+        assert p.cores_per_cg == 65
+        assert p.cores == 390
+        assert p.memory_gb == 96.0
+
+    def test_paper_headline_core_count(self):
+        """327,680 processes = 21,299,200 cores (the paper's maximum)."""
+        m = SunwayMachine()
+        assert m.cores_for_processes(327_680) == 21_299_200
+
+    def test_process_bounds(self):
+        m = SunwayMachine(n_processors=2)
+        assert m.max_processes == 12
+        with pytest.raises(ValidationError):
+            m.cores_for_processes(13)
+
+    def test_bcast_time_grows_logarithmically(self):
+        m = SunwayMachine()
+        t2 = m.bcast_time(1024, 2)
+        t1024 = m.bcast_time(1024, 1024)
+        assert t1024 > t2
+        assert t1024 / t2 == pytest.approx(10.0, rel=0.01)  # log2(1024)=10
+
+    def test_bcast_single_process_free(self):
+        assert SunwayMachine().bcast_time(10 ** 6, 1) == 0.0
+
+
+class TestPayloadBytes:
+    def test_array(self):
+        assert _payload_bytes(np.zeros(10)) == 80
+
+    def test_scalars_and_containers(self):
+        assert _payload_bytes(1.5) == 16
+        assert _payload_bytes([1.0, 2.0]) == 32
+        assert _payload_bytes({"a": 1.0}) > 16
+        assert _payload_bytes(None) == 0
+        assert _payload_bytes("abcd") == 4
+
+
+class TestCommunicator:
+    def test_split_covers_all_ranks(self):
+        world = SimCluster(10).world()
+        groups = world.split(3)
+        ranks = sorted(r for g in groups for r in g.ranks)
+        assert ranks == list(range(10))
+        assert [g.size for g in groups] == [4, 3, 3]
+
+    def test_split_validation(self):
+        world = SimCluster(4).world()
+        with pytest.raises(CommunicatorError):
+            world.split(0)
+        with pytest.raises(CommunicatorError):
+            world.split(5)
+
+    def test_compute_advances_one_clock(self):
+        cluster = SimCluster(4)
+        world = cluster.world()
+        world.compute(2, 1.5)
+        assert cluster.clocks[2] == 1.5
+        assert cluster.clocks[0] == 0.0
+        assert cluster.elapsed() == 1.5
+
+    def test_collective_synchronizes_clocks(self):
+        cluster = SimCluster(4)
+        world = cluster.world()
+        world.compute(0, 1.0)
+        world.bcast(np.zeros(8))
+        assert np.ptp(cluster.clocks) == 0.0
+        assert cluster.elapsed() > 1.0
+
+    def test_reduce_applies_op(self):
+        world = SimCluster(3).world()
+        assert world.reduce([1.0, 2.0, 3.0]) == 6.0
+        assert world.reduce([1.0, 5.0, 3.0], op=max) == 5.0
+
+    def test_reduce_length_checked(self):
+        world = SimCluster(3).world()
+        with pytest.raises(CommunicatorError):
+            world.reduce([1.0])
+
+    def test_allreduce(self):
+        world = SimCluster(4).world()
+        assert world.allreduce([1, 1, 1, 1]) == 4
+
+    def test_scatter_gather(self):
+        world = SimCluster(2).world()
+        chunks = world.scatter([[1], [2]])
+        assert chunks == [[1], [2]]
+        assert world.gather([10, 20]) == [10, 20]
+
+    def test_stats_accumulate(self):
+        world = SimCluster(4).world()
+        world.bcast(np.zeros(100))
+        world.reduce([0.0] * 4)
+        assert world.stats.bcast_calls == 1
+        assert world.stats.reduce_calls == 1
+        assert world.stats.bytes_broadcast == 800 * 3
+        assert world.stats.comm_time_s > 0
+
+    def test_idle_fraction(self):
+        cluster = SimCluster(2)
+        world = cluster.world()
+        world.compute(0, 1.0)
+        assert cluster.idle_fraction() == pytest.approx(0.5)
+
+    def test_empty_communicator_rejected(self):
+        with pytest.raises(CommunicatorError):
+            SimCommunicator(SimCluster(2), [])
+
+    def test_negative_compute_rejected(self):
+        world = SimCluster(2).world()
+        with pytest.raises(ValidationError):
+            world.compute(0, -1.0)

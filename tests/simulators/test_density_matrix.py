@@ -1,0 +1,68 @@
+"""Tests for the density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.circuits.hea import random_brick_circuit
+from repro.operators.pauli import pauli_string
+from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.simulators.statevector import StatevectorSimulator
+
+
+class TestBasics:
+    def test_initial_purity(self):
+        sim = DensityMatrixSimulator(3)
+        assert sim.purity() == pytest.approx(1.0)
+
+    def test_trace_preserved(self):
+        c = random_brick_circuit(4, 2, seed=1)
+        sim = DensityMatrixSimulator(4).run(c)
+        assert np.trace(sim.density_matrix()).real == pytest.approx(1.0)
+        assert sim.purity() == pytest.approx(1.0, abs=1e-10)
+
+    def test_memory_guard(self):
+        with pytest.raises(ValidationError):
+            DensityMatrixSimulator(20)
+
+    def test_hermiticity(self):
+        c = random_brick_circuit(3, 2, seed=2)
+        rho = DensityMatrixSimulator(3).run(c).density_matrix()
+        assert np.allclose(rho, rho.conj().T, atol=1e-12)
+
+    def test_reset(self):
+        sim = DensityMatrixSimulator(1)
+        sim.apply_gate(Gate("X", (0,)))
+        sim.reset()
+        assert sim.density_matrix()[0, 0] == pytest.approx(1.0)
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            DensityMatrixSimulator(2).run(Circuit(3))
+
+
+class TestAgainstStatevector:
+    def test_pure_state_consistency(self):
+        """rho must equal |psi><psi| of the SV simulator on any circuit."""
+        for seed in (3, 4):
+            c = random_brick_circuit(4, 3, seed=seed)
+            psi = StatevectorSimulator(4).run(c).statevector()
+            rho = DensityMatrixSimulator(4).run(c).density_matrix()
+            assert np.allclose(rho, np.outer(psi, psi.conj()), atol=1e-10)
+
+    def test_expectations_match(self):
+        c = random_brick_circuit(4, 2, seed=7)
+        sv = StatevectorSimulator(4).run(c)
+        dm = DensityMatrixSimulator(4).run(c)
+        for label in ("ZIII", "XXII", "IYZI", "ZZZZ"):
+            p = pauli_string(label)
+            assert dm.expectation_pauli(p) == pytest.approx(
+                sv.expectation_pauli(p), abs=1e-10)
+
+    def test_bell_state_offdiagonal(self):
+        c = Circuit(2, [Gate("H", (0,)), Gate("CX", (0, 1))])
+        rho = DensityMatrixSimulator(2).run(c).density_matrix()
+        assert rho[0, 3] == pytest.approx(0.5)
+        assert rho[0, 0] == pytest.approx(0.5)

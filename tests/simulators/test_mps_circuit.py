@@ -1,0 +1,71 @@
+"""Tests for the MPS circuit runner (modes, diagnostics, guards)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.circuits.hea import random_brick_circuit
+from repro.operators.pauli import QubitOperator, pauli_string
+from repro.simulators.mps import MPS
+from repro.simulators.mps_circuit import MPSSimulator
+
+
+class TestModes:
+    def test_unknown_mode(self):
+        with pytest.raises(ValidationError):
+            MPSSimulator(3, mode="turbo")
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            MPSSimulator(3).run(Circuit(4))
+
+    def test_naive_mode_runs_each_gate(self):
+        # in naive mode single-qubit gates are applied directly (no fusion)
+        c = Circuit(2, [Gate("H", (0,)), Gate("H", (0,)), Gate("CX", (0, 1))])
+        sim = MPSSimulator(2, mode="naive").run(c)
+        # HH = I, so CX|00> = |00>
+        assert abs(sim.state.amplitude("00")) == pytest.approx(1.0)
+
+
+class TestDiagnostics:
+    def test_truncation_stats_exposed(self):
+        c = random_brick_circuit(6, 4, seed=2)
+        sim = MPSSimulator(6, max_bond_dimension=2).run(c)
+        assert sim.truncation_stats.truncation_events > 0
+        assert sim.max_bond() <= 2
+
+    def test_memory_tracks_bond_dimension(self):
+        c = random_brick_circuit(8, 4, seed=3)
+        small = MPSSimulator(8, max_bond_dimension=2).run(c).memory_bytes()
+        large = MPSSimulator(8, max_bond_dimension=8).run(c).memory_bytes()
+        assert large > small
+
+    def test_set_state(self):
+        sim = MPSSimulator(4)
+        sim.set_state(MPS.from_bitstring("1010"))
+        assert abs(sim.state.amplitude("1010")) == pytest.approx(1.0)
+        with pytest.raises(ValidationError):
+            sim.set_state(MPS(3))
+
+    def test_reset(self):
+        sim = MPSSimulator(3)
+        sim.run(random_brick_circuit(3, 1, seed=1))
+        sim.reset()
+        assert abs(sim.state.amplitude("000")) == pytest.approx(1.0)
+
+
+class TestExpectation:
+    def test_operator_with_identity_term(self):
+        sim = MPSSimulator(2)
+        op = QubitOperator.identity(2.5) + QubitOperator.from_term("ZI", 0.5)
+        assert sim.expectation(op) == pytest.approx(3.0)
+
+    def test_complex_coefficient_combination(self):
+        """Non-hermitian operators combine coefficients before Re()."""
+        sim = MPSSimulator(1)
+        # <0| (iZ) |0> = i -> real part 0... combined with -i Z gives 0
+        op = (QubitOperator.from_term("Z", 1j)
+              + QubitOperator.from_term("Z", -1j))
+        assert sim.expectation(op) == pytest.approx(0.0)

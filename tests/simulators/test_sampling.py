@@ -1,0 +1,55 @@
+"""Tests for computational-basis sampling from the MPS."""
+
+import numpy as np
+import pytest
+from collections import Counter
+
+from repro.common.errors import ValidationError
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.simulators.mps import MPS
+from repro.simulators.mps_circuit import MPSSimulator
+
+
+class TestSampling:
+    def test_product_state_deterministic(self):
+        mps = MPS.from_bitstring("0110")
+        samples = mps.sample(20, seed=1)
+        assert all(s == "0110" for s in samples)
+
+    def test_bell_state_statistics(self):
+        mps = MPS(2)
+        from repro.circuits.gates import GATE_MATRICES
+
+        mps.apply_one_qubit(GATE_MATRICES["H"], 0)
+        mps.apply_two_qubit(GATE_MATRICES["CX"], 0, 1)
+        samples = mps.sample(4000, seed=2)
+        counts = Counter(samples)
+        assert set(counts) == {"00", "11"}
+        assert abs(counts["00"] / 4000 - 0.5) < 0.05
+
+    def test_matches_born_rule(self):
+        """Empirical frequencies track |amplitude|^2 on a random state."""
+        mps = MPS.random_state(4, bond_dimension=3, seed=7)
+        probs = np.abs(mps.to_statevector()) ** 2
+        samples = mps.sample(8000, seed=3)
+        counts = Counter(samples)
+        for idx in np.argsort(probs)[-4:]:  # the four most likely strings
+            bits = format(idx, "04b")
+            freq = counts.get(bits, 0) / 8000
+            assert freq == pytest.approx(probs[idx], abs=0.03)
+
+    def test_deterministic_with_seed(self):
+        mps = MPS.random_state(5, bond_dimension=2, seed=1)
+        assert mps.sample(10, seed=9) == mps.sample(10, seed=9)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValidationError):
+            MPS(2).sample(0)
+
+    def test_ghz_from_circuit(self):
+        c = Circuit(4, [Gate("H", (0,)), Gate("CX", (0, 1)),
+                        Gate("CX", (1, 2)), Gate("CX", (2, 3))])
+        sim = MPSSimulator(4).run(c)
+        samples = sim.state.sample(500, seed=4)
+        assert set(samples) == {"0000", "1111"}

@@ -1,0 +1,98 @@
+"""Tests for the dense state-vector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.operators.pauli import QubitOperator, pauli_string
+from repro.simulators.statevector import StatevectorSimulator
+
+
+class TestBasics:
+    def test_initial_state(self):
+        sim = StatevectorSimulator(3)
+        assert sim.amplitude("000") == pytest.approx(1.0)
+        assert sim.norm() == pytest.approx(1.0)
+
+    def test_memory_guard(self):
+        with pytest.raises(ValidationError):
+            StatevectorSimulator(40)
+
+    def test_x_gate(self):
+        sim = StatevectorSimulator(2)
+        sim.apply_gate(Gate("X", (1,)))
+        assert abs(sim.amplitude("01")) == pytest.approx(1.0)
+
+    def test_bell_state(self):
+        c = Circuit(2, [Gate("H", (0,)), Gate("CX", (0, 1))])
+        sim = StatevectorSimulator(2).run(c)
+        assert abs(sim.amplitude("00")) == pytest.approx(2 ** -0.5)
+        assert abs(sim.amplitude("11")) == pytest.approx(2 ** -0.5)
+        assert abs(sim.amplitude("01")) < 1e-12
+
+    def test_norm_preserved(self, rng):
+        from repro.circuits.hea import random_brick_circuit
+
+        c = random_brick_circuit(5, 3, seed=11)
+        sim = StatevectorSimulator(5).run(c)
+        assert sim.norm() == pytest.approx(1.0, abs=1e-10)
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            StatevectorSimulator(2).run(Circuit(3))
+
+    def test_set_state_validates(self):
+        sim = StatevectorSimulator(2)
+        with pytest.raises(ValidationError):
+            sim.set_state(np.ones(3))
+
+    def test_reset(self):
+        sim = StatevectorSimulator(1)
+        sim.apply_gate(Gate("X", (0,)))
+        sim.reset()
+        assert abs(sim.amplitude("0")) == pytest.approx(1.0)
+
+
+class TestExpectations:
+    def test_z_on_zero(self):
+        sim = StatevectorSimulator(1)
+        assert sim.expectation_pauli(pauli_string("Z")) == pytest.approx(1.0)
+
+    def test_z_on_one(self):
+        sim = StatevectorSimulator(1)
+        sim.apply_gate(Gate("X", (0,)))
+        assert sim.expectation_pauli(pauli_string("Z")) == pytest.approx(-1.0)
+
+    def test_x_on_plus(self):
+        sim = StatevectorSimulator(1)
+        sim.apply_gate(Gate("H", (0,)))
+        assert sim.expectation_pauli(pauli_string("X")) == pytest.approx(1.0)
+
+    def test_bell_correlations(self):
+        c = Circuit(2, [Gate("H", (0,)), Gate("CX", (0, 1))])
+        sim = StatevectorSimulator(2).run(c)
+        assert sim.expectation_pauli(pauli_string("ZZ")) == pytest.approx(1.0)
+        assert sim.expectation_pauli(pauli_string("XX")) == pytest.approx(1.0)
+        assert sim.expectation_pauli(pauli_string("YY")) == pytest.approx(-1.0)
+        assert sim.expectation_pauli(
+            pauli_string([(0, "Z")])) == pytest.approx(0.0)
+
+    def test_operator_expectation_matches_matrix(self, rng):
+        from repro.circuits.hea import random_brick_circuit
+
+        c = random_brick_circuit(4, 2, seed=5)
+        sim = StatevectorSimulator(4).run(c)
+        op = (QubitOperator.from_term("XXII", 0.7)
+              + QubitOperator.from_term("IZZI", -0.2)
+              + QubitOperator.identity(1.5))
+        psi = sim.statevector()
+        expected = np.real(psi.conj() @ op.matrix(4) @ psi)
+        assert sim.expectation(op) == pytest.approx(expected, abs=1e-10)
+
+    def test_probability_of_bit(self):
+        sim = StatevectorSimulator(2)
+        sim.apply_gate(Gate("H", (0,)))
+        assert sim.probability_of_bit(0, 0) == pytest.approx(0.5)
+        assert sim.probability_of_bit(1, 0) == pytest.approx(1.0)

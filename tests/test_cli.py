@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_energy_defaults(self):
+        args = build_parser().parse_args(["energy"])
+        assert args.molecule == "h2"
+        assert args.method == "vqe"
+
+
+class TestEnergyCommand:
+    def test_hf(self, capsys):
+        assert main(["energy", "--molecule", "h2", "--method", "hf"]) == 0
+        out = capsys.readouterr().out
+        assert "E(RHF)" in out
+        assert "-1.1166" in out
+
+    def test_fci(self, capsys):
+        assert main(["energy", "--molecule", "h2", "--method", "fci"]) == 0
+        assert "-1.1372" in capsys.readouterr().out
+
+    def test_vqe_fast(self, capsys):
+        assert main(["energy", "--molecule", "h2", "--method", "vqe",
+                     "--simulator", "fast"]) == 0
+        assert "-1.1372" in capsys.readouterr().out
+
+    def test_dmet_on_ring(self, capsys):
+        assert main(["energy", "--molecule", "ring:6", "--method",
+                     "dmet-fci", "--equivalent"]) == 0
+        out = capsys.readouterr().out
+        assert "E(DMET)" in out
+        assert "8 qubits" in out
+
+    def test_bond_override(self, capsys):
+        main(["energy", "--molecule", "h2", "--method", "hf",
+              "--bond", "2.0"])
+        out1 = capsys.readouterr().out
+        main(["energy", "--molecule", "h2", "--method", "hf"])
+        out2 = capsys.readouterr().out
+        assert out1 != out2
+
+    def test_unknown_molecule(self, capsys):
+        assert main(["energy", "--molecule", "plutonium"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_method(self, capsys):
+        assert main(["energy", "--method", "dft"]) == 1
+
+    def test_xyz_input(self, tmp_path, capsys):
+        xyz = tmp_path / "geom.xyz"
+        xyz.write_text("2\nh2\nH 0 0 0\nH 0 0 0.7414\n")
+        assert main(["energy", "--xyz", str(xyz), "--method", "hf"]) == 0
+        assert "-1.1166" in capsys.readouterr().out
+
+
+class TestInfoCommand:
+    def test_h2_inventory(self, capsys):
+        assert main(["info", "--molecule", "h2"]) == 0
+        out = capsys.readouterr().out
+        assert "qubits          : 4" in out
+        assert "Pauli strings   : 15" in out
+
+    def test_frozen_core(self, capsys):
+        assert main(["info", "--molecule", "lih", "--frozen-core", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "qubits          : 10" in out
+
+
+class TestScalingCommand:
+    def test_strong(self, capsys):
+        assert main(["scaling", "--mode", "strong"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 12" in out or "strong scaling" in out
+        assert "21,299,200" in out
+
+    def test_weak(self, capsys):
+        assert main(["scaling", "--mode", "weak"]) == 0
+        assert "weak scaling" in capsys.readouterr().out

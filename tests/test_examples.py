@@ -1,0 +1,60 @@
+"""Smoke tests: the example scripts run end to end and print sane output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 420) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "RHF" in out and "FCI" in out and "MPS-VQE" in out
+    assert "15 Pauli strings" in out
+
+
+def test_sunway_scaling():
+    out = _run("sunway_scaling.py")
+    assert "21,299,200" in out
+    assert "STRONG SCALING" in out and "WEAK SCALING" in out
+
+
+def test_hydrogen_ring_dmet_small():
+    # H6: the smallest ring where DMET fragments are well conditioned (the
+    # H4 square has a degenerate open shell where the RHF reference and
+    # hence the DMET bath are pathological)
+    out = _run("hydrogen_ring_dmet.py", "6", "2")
+    assert "DMET-VQE" in out
+    # error column below the paper's 0.5% band
+    for line in out.splitlines():
+        parts = line.split()
+        if len(parts) == 5 and parts[0][0].isdigit():
+            assert float(parts[4]) < 0.5
+
+
+def test_h2_dissociation_small():
+    out = _run("h2_dissociation.py", "3")
+    assert "dissociation" in out.lower()
+
+
+@pytest.mark.slow
+def test_ligand_binding():
+    out = _run("ligand_binding.py")
+    assert "ranking" in out
+
+
+@pytest.mark.slow
+def test_c18_bla_scan_small_ring():
+    out = _run("c18_bla_scan.py", "10", "3")
+    assert "CCSD minimum" in out

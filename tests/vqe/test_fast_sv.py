@@ -1,0 +1,94 @@
+"""Tests for the permutation+phase Pauli actions and the fast evaluator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ValidationError
+from repro.operators.pauli import PauliTerm, QubitOperator
+from repro.vqe.fast_sv import FastUCCEvaluator, PauliAction
+
+N = 4
+
+
+def term_strategy():
+    return st.builds(
+        PauliTerm,
+        x=st.integers(0, 2 ** N - 1),
+        z=st.integers(0, 2 ** N - 1),
+    )
+
+
+class TestPauliAction:
+    @settings(max_examples=50, deadline=None)
+    @given(term_strategy())
+    def test_action_matches_matrix(self, term):
+        action = PauliAction(term, N)
+        rng = np.random.default_rng(1)
+        psi = rng.standard_normal(2 ** N) + 1j * rng.standard_normal(2 ** N)
+        assert np.allclose(action.apply(psi), term.matrix(N) @ psi,
+                           atol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(term_strategy())
+    def test_involution(self, term):
+        """P^2 = I: applying twice restores the state."""
+        action = PauliAction(term, N)
+        rng = np.random.default_rng(2)
+        psi = rng.standard_normal(2 ** N) + 1j * rng.standard_normal(2 ** N)
+        assert np.allclose(action.apply(action.apply(psi)), psi, atol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(term_strategy())
+    def test_norm_preserving(self, term):
+        action = PauliAction(term, N)
+        rng = np.random.default_rng(3)
+        psi = rng.standard_normal(2 ** N) + 1j * rng.standard_normal(2 ** N)
+        assert np.linalg.norm(action.apply(psi)) == pytest.approx(
+            np.linalg.norm(psi))
+
+
+class TestFastUCCEvaluator:
+    def test_qubit_cap(self, h2):
+        from repro.circuits.uccsd import UCCSDAnsatz
+        from repro.operators.molecular import molecular_qubit_hamiltonian
+
+        ham = molecular_qubit_hamiltonian(h2.mo)
+        with pytest.raises(ValidationError):
+            FastUCCEvaluator(ham, UCCSDAnsatz(2, 2), max_qubits=3)
+
+    def test_nonhermitian_rejected(self):
+        from repro.circuits.uccsd import UCCSDAnsatz
+
+        bad = QubitOperator.from_term("XYZI", 1j)
+        with pytest.raises(ValidationError):
+            FastUCCEvaluator(bad, UCCSDAnsatz(2, 2))
+
+    def test_parameter_count_enforced(self, h2):
+        from repro.circuits.uccsd import UCCSDAnsatz
+        from repro.operators.molecular import molecular_qubit_hamiltonian
+
+        ham = molecular_qubit_hamiltonian(h2.mo)
+        ev = FastUCCEvaluator(ham, UCCSDAnsatz(2, 2))
+        with pytest.raises(ValidationError):
+            ev.energy(np.zeros(1))
+
+    def test_state_normalized(self, h2):
+        from repro.circuits.uccsd import UCCSDAnsatz
+        from repro.operators.molecular import molecular_qubit_hamiltonian
+
+        ham = molecular_qubit_hamiltonian(h2.mo)
+        ev = FastUCCEvaluator(ham, UCCSDAnsatz(2, 2))
+        psi = ev.state(np.array([0.4, -0.9]))
+        assert np.linalg.norm(psi) == pytest.approx(1.0, abs=1e-12)
+
+    def test_evaluation_counter(self, h2):
+        from repro.circuits.uccsd import UCCSDAnsatz
+        from repro.operators.molecular import molecular_qubit_hamiltonian
+
+        ham = molecular_qubit_hamiltonian(h2.mo)
+        ev = FastUCCEvaluator(ham, UCCSDAnsatz(2, 2))
+        ev.energy(np.zeros(2))
+        ev.energy(np.zeros(2))
+        assert ev.evaluations == 2

@@ -1,0 +1,87 @@
+"""Tests for Pauli-string partitioning and load estimation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ValidationError
+from repro.operators.pauli import QubitOperator, pauli_string
+from repro.vqe.grouping import (
+    estimate_term_cost,
+    group_loads,
+    partition_pauli_terms,
+)
+
+
+def _toy_hamiltonian(n_terms=20, n_qubits=8, seed=3):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    op = QubitOperator.identity(0.5)
+    for _ in range(n_terms):
+        k = int(rng.integers(1, n_qubits + 1))
+        qubits = sorted(rng.choice(n_qubits, size=k, replace=False))
+        ops = [(int(q), str(rng.choice(list("XYZ")))) for q in qubits]
+        op = op + QubitOperator.from_term(pauli_string(ops),
+                                          float(rng.standard_normal()))
+    return op
+
+
+class TestCostEstimate:
+    def test_identity_free(self):
+        from repro.operators.pauli import PauliTerm
+
+        assert estimate_term_cost(PauliTerm(0, 0)) == 0.0
+
+    def test_span_cost(self):
+        assert estimate_term_cost(pauli_string([(2, "X"), (6, "Z")])) == 5.0
+        assert estimate_term_cost(pauli_string([(3, "Y")])) == 1.0
+
+
+class TestPartition:
+    @pytest.mark.parametrize("strategy", ["block", "round_robin", "lpt"])
+    def test_disjoint_and_complete(self, strategy):
+        ham = _toy_hamiltonian()
+        groups = partition_pauli_terms(ham, 4, strategy)
+        flat = [t for g in groups for t, _ in g]
+        non_identity = [t for t, _ in ham if not t.is_identity()]
+        assert sorted(flat, key=lambda t: (t.x, t.z)) == \
+            sorted(non_identity, key=lambda t: (t.x, t.z))
+
+    def test_lpt_beats_block(self):
+        ham = _toy_hamiltonian(n_terms=50, seed=9)
+        block = group_loads(partition_pauli_terms(ham, 5, "block"))
+        lpt = group_loads(partition_pauli_terms(ham, 5, "lpt"))
+        assert max(lpt) <= max(block)
+
+    def test_single_group(self):
+        ham = _toy_hamiltonian(n_terms=5)
+        groups = partition_pauli_terms(ham, 1)
+        assert len(groups) == 1
+        assert len(groups[0]) == 5
+
+    def test_more_groups_than_terms(self):
+        ham = _toy_hamiltonian(n_terms=3)
+        groups = partition_pauli_terms(ham, 10)
+        assert sum(len(g) for g in groups) == 3
+
+    def test_invalid_inputs(self):
+        ham = _toy_hamiltonian(n_terms=3)
+        with pytest.raises(ValidationError):
+            partition_pauli_terms(ham, 0)
+        with pytest.raises(ValidationError):
+            partition_pauli_terms(ham, 2, "magic")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 16), st.integers(0, 100))
+    def test_lpt_makespan_bound(self, n_groups, seed):
+        """LPT makespan <= (4/3 - 1/3m) OPT; OPT >= max(total/m, max cost)."""
+        ham = _toy_hamiltonian(n_terms=40, seed=seed)
+        groups = partition_pauli_terms(ham, n_groups, "lpt")
+        loads = group_loads(groups)
+        total = sum(loads)
+        max_cost = max((estimate_term_cost(t) for t, _ in ham
+                        if not t.is_identity()), default=0.0)
+        opt_lower = max(total / n_groups, max_cost)
+        if opt_lower > 0:
+            assert max(loads) <= (4.0 / 3.0) * opt_lower + 1e-9

@@ -1,0 +1,75 @@
+"""Tests for the classical optimizers on analytic objectives."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.vqe.optimizers import minimize_adam, minimize_scipy, minimize_spsa
+
+
+def quadratic(x):
+    return float(np.sum((x - 1.5) ** 2))
+
+
+def rosenbrock2(x):
+    return float((1 - x[0]) ** 2 + 100 * (x[1] - x[0] ** 2) ** 2)
+
+
+class TestScipyBridge:
+    def test_cobyla_quadratic(self):
+        res = minimize_scipy(quadratic, np.zeros(3), method="COBYLA")
+        assert res.fun == pytest.approx(0.0, abs=1e-6)
+        assert np.allclose(res.x, 1.5, atol=1e-3)
+        assert res.n_evaluations == len(res.history)
+
+    def test_nelder_mead(self):
+        res = minimize_scipy(rosenbrock2, np.array([-1.0, 1.0]),
+                             method="Nelder-Mead", max_iterations=5000)
+        assert res.fun < 1e-6
+
+    def test_history_monotone_tail(self):
+        res = minimize_scipy(quadratic, np.ones(2) * 5)
+        assert min(res.history) <= res.history[0]
+
+
+class TestSPSA:
+    def test_converges_on_quadratic(self):
+        res = minimize_spsa(quadratic, np.zeros(4), max_iterations=400,
+                            a=0.5, seed=1)
+        assert res.fun < 0.05
+        # 2 evaluations per iteration + final
+        assert res.n_evaluations == 2 * res.n_iterations + 1
+
+    def test_deterministic_with_seed(self):
+        r1 = minimize_spsa(quadratic, np.zeros(2), max_iterations=50, seed=5)
+        r2 = minimize_spsa(quadratic, np.zeros(2), max_iterations=50, seed=5)
+        assert np.allclose(r1.x, r2.x)
+        assert r1.fun == r2.fun
+
+    def test_plateau_stops_early(self):
+        res = minimize_spsa(lambda x: 0.0, np.zeros(2), max_iterations=500,
+                            tolerance=1e-12, seed=0)
+        assert res.n_iterations < 500
+
+    def test_vector_required(self):
+        with pytest.raises(ValidationError):
+            minimize_spsa(quadratic, np.zeros((2, 2)))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        res = minimize_adam(quadratic, np.zeros(3), max_iterations=300,
+                            learning_rate=0.2)
+        assert res.fun < 1e-4
+
+    def test_early_stop_on_tolerance(self):
+        res = minimize_adam(quadratic, np.full(2, 1.5), max_iterations=100,
+                            tolerance=1e-6)
+        assert res.converged
+        assert res.n_iterations < 100
+
+    def test_budget_exhaustion_flagged(self):
+        res = minimize_adam(rosenbrock2, np.array([-1.5, 2.0]),
+                            max_iterations=3, tolerance=0.0)
+        assert not res.converged
+        assert res.n_iterations == 3

@@ -1,0 +1,68 @@
+"""Tests for RDM measurement on simulated states."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.uccsd import UCCSDAnsatz
+from repro.operators.molecular import molecular_qubit_hamiltonian
+from repro.vqe.fast_sv import FastUCCEvaluator
+from repro.vqe.rdm import excitation_qubit_operators, measure_rdms
+
+
+@pytest.fixture(scope="module")
+def h2_state(request):
+    """Optimal H2 state prepared with the fast evaluator."""
+    h2 = request.getfixturevalue("h2")
+    ham = molecular_qubit_hamiltonian(h2.mo)
+    ansatz = UCCSDAnsatz(2, 2)
+    ev = FastUCCEvaluator(ham, ansatz)
+    from repro.vqe.optimizers import minimize_scipy
+
+    res = minimize_scipy(ev, np.zeros(2), method="COBYLA", tolerance=1e-10)
+    return h2, ev.final_state(res.x)
+
+
+class TestExcitationOperators:
+    def test_count(self):
+        ops = excitation_qubit_operators(3)
+        assert len(ops) == 9
+
+    def test_hermitian_conjugation(self):
+        ops = excitation_qubit_operators(2)
+        for p in range(2):
+            for q in range(2):
+                diff = (ops[(p, q)].dagger() - ops[(q, p)]).simplify()
+                assert len(diff) == 0
+
+
+class TestMeasureRDMs:
+    def test_match_fci(self, h2_state):
+        h2, sim = h2_state
+        g1, g2 = measure_rdms(sim, 2)
+        assert np.allclose(g1, h2.fci.one_rdm, atol=1e-6)
+        assert np.allclose(g2, h2.fci.two_rdm, atol=1e-6)
+
+    def test_energy_reconstruction(self, h2_state):
+        """const + h.g1 + g.g2/2 must reproduce the FCI energy."""
+        h2, sim = h2_state
+        g1, g2 = measure_rdms(sim, 2)
+        e = (h2.mo.constant
+             + np.einsum("pq,pq->", h2.mo.h1, g1)
+             + 0.5 * np.einsum("pqrs,pqrs->", h2.mo.h2, g2))
+        assert e == pytest.approx(h2.fci.energy, abs=1e-6)
+
+    def test_2rdm_symmetry(self, h2_state):
+        _, sim = h2_state
+        _, g2 = measure_rdms(sim, 2)
+        assert np.allclose(g2, g2.transpose(2, 3, 0, 1), atol=1e-8)
+
+    def test_hf_reference_rdms(self, h2):
+        """At theta=0 the RDMs are the closed-shell HF ones."""
+        ham = molecular_qubit_hamiltonian(h2.mo)
+        ev = FastUCCEvaluator(ham, UCCSDAnsatz(2, 2))
+        sim = ev.final_state(np.zeros(2))
+        g1, g2 = measure_rdms(sim, 2)
+        assert g1[0, 0] == pytest.approx(2.0, abs=1e-10)  # occupied
+        assert g1[1, 1] == pytest.approx(0.0, abs=1e-10)  # virtual
+        # HF: Gamma_0000 = <E00 E00> - gamma_00 = 4 - 2 = 2
+        assert g2[0, 0, 0, 0] == pytest.approx(2.0, abs=1e-10)

@@ -1,0 +1,66 @@
+"""Tests for the finite-shots measurement model on the Hadamard-test path."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.circuits.uccsd import UCCSDAnsatz
+from repro.operators.molecular import molecular_qubit_hamiltonian
+from repro.vqe.energy import EnergyEvaluator
+
+
+@pytest.fixture()
+def setup(h2):
+    ham = molecular_qubit_hamiltonian(h2.mo)
+    ansatz = UCCSDAnsatz(2, 2)
+    theta = np.array([0.1, -0.2])
+    return ham, ansatz.circuit(), theta
+
+
+class TestShots:
+    def test_requires_hadamard(self, setup):
+        ham, circ, _ = setup
+        with pytest.raises(ValidationError):
+            EnergyEvaluator(ham, circ, method="direct", shots=100)
+        with pytest.raises(ValidationError):
+            EnergyEvaluator(ham, circ, method="hadamard", shots=0)
+
+    def test_estimate_converges_to_exact(self, setup):
+        ham, circ, theta = setup
+        exact = EnergyEvaluator(ham, circ, simulator="statevector",
+                                method="hadamard").energy(theta)
+        few = EnergyEvaluator(ham, circ, simulator="statevector",
+                              method="hadamard", shots=64,
+                              seed=1).energy(theta)
+        many = EnergyEvaluator(ham, circ, simulator="statevector",
+                               method="hadamard", shots=65536,
+                               seed=1).energy(theta)
+        assert abs(many - exact) < abs(few - exact) + 0.02
+        assert abs(many - exact) < 0.01
+
+    def test_deterministic_with_seed(self, setup):
+        ham, circ, theta = setup
+        a = EnergyEvaluator(ham, circ, simulator="statevector",
+                            method="hadamard", shots=128, seed=7)
+        b = EnergyEvaluator(ham, circ, simulator="statevector",
+                            method="hadamard", shots=128, seed=7)
+        assert a.energy(theta) == b.energy(theta)
+
+    def test_statistical_scatter_scales(self, setup):
+        """Std of the estimator shrinks roughly like 1/sqrt(shots)."""
+        ham, circ, theta = setup
+        exact = EnergyEvaluator(ham, circ, simulator="statevector",
+                                method="hadamard").energy(theta)
+
+        def scatter(shots, n_rep=12):
+            vals = [
+                EnergyEvaluator(ham, circ, simulator="statevector",
+                                method="hadamard", shots=shots,
+                                seed=100 + k).energy(theta)
+                for k in range(n_rep)
+            ]
+            return np.std(np.asarray(vals) - exact)
+
+        s_small = scatter(32)
+        s_large = scatter(2048)
+        assert s_large < s_small
