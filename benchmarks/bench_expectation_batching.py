@@ -1,0 +1,99 @@
+"""Batched vs per-term Pauli expectation on a molecular Hamiltonian.
+
+The VQE loop (paper Sec. III-D, Fig. 4) evaluates every Pauli string of the
+Hamiltonian at every optimizer iteration.  The per-term path contracts one
+2x2 Pauli matrix per non-identity factor per term - O(terms x weight)
+tensordots.  The shared kernel layer (`repro.simulators.pauli_kernels`)
+compiles the operator once, grouping terms by X/Y flip mask into one complex
+diagonal + one index gather per distinct mask - O(#masks) vector passes per
+evaluation.  This benchmark measures both on an H2O/STO-3G-scale
+Hamiltonian (14 qubits) and a 12-qubit frozen-core variant, asserts the
+compiled path is at least 5x faster, and emits a JSON record alongside the
+printed table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.rng import default_rng
+from repro.common.timing import timed
+from repro.operators.molecular import molecular_qubit_hamiltonian
+from repro.simulators.pauli_kernels import CompiledObservable
+from repro.simulators.statevector import StatevectorSimulator
+
+from conftest import print_table
+
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / \
+    "expectation_batching.json"
+
+
+def _random_state(n_qubits: int, seed: int = 0) -> np.ndarray:
+    rng = default_rng(seed)
+    psi = rng.standard_normal(1 << n_qubits) \
+        + 1j * rng.standard_normal(1 << n_qubits)
+    return psi / np.linalg.norm(psi)
+
+
+def _measure_case(tag: str, mo) -> dict:
+    ham = molecular_qubit_hamiltonian(mo)
+    n = mo.n_qubits
+    psi = _random_state(n, seed=7)
+    sim = StatevectorSimulator(n)
+    sim.set_state(psi)
+
+    compiled = CompiledObservable(ham, n)
+    per_term_s, e_loop = timed(lambda: sim.expectation_per_term(ham),
+                               repeat=2)
+    compile_s, _ = timed(lambda: CompiledObservable(ham, n))
+    batched_s, e_batch = timed(lambda: compiled.expectation(psi), repeat=5)
+    assert abs(e_loop - e_batch) < 1e-9, "batched path changed the physics"
+    return {
+        "case": tag,
+        "n_qubits": n,
+        "n_terms": len(ham),
+        "n_mask_groups": compiled.n_groups,
+        "per_term_seconds": per_term_s,
+        "batched_seconds": batched_s,
+        "compile_seconds": compile_s,
+        "speedup": per_term_s / batched_s,
+        "compression": len(ham) / max(1, compiled.n_groups),
+    }
+
+
+def test_batched_expectation_speedup(water_mo, benchmark):
+    """Compiled-observable expectation >= 5x over the per-term loop."""
+    from repro.chem import mo as momod
+
+    mo14, scf = water_mo
+    # frozen-core H2O: the 12-qubit variant of the same Hamiltonian
+    mo12 = momod.from_scf(scf, frozen_core=1)
+    results = [_measure_case("h2o_sto3g_14q", mo14),
+               _measure_case("h2o_sto3g_fc_12q", mo12)]
+
+    compiled = CompiledObservable(molecular_qubit_hamiltonian(mo12), 12)
+    psi = _random_state(12, seed=7)
+    benchmark(lambda: compiled.expectation(psi))
+
+    rows = [[r["case"], r["n_qubits"], r["n_terms"], r["n_mask_groups"],
+             r["per_term_seconds"], r["batched_seconds"],
+             r["speedup"]] for r in results]
+    print_table(
+        "Batched CompiledObservable vs per-term expectation",
+        ["case", "qubits", "terms", "masks", "per-term s", "batched s",
+         "speedup"],
+        rows,
+        paper_note="terms sharing a flip mask collapse to one gather "
+                   "(cf. Guo et al. arXiv:2211.07983 term batching)",
+    )
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps({"results": results}, indent=2))
+
+    for r in results:
+        assert r["speedup"] >= 5.0, (
+            f"{r['case']}: batched path only {r['speedup']:.1f}x faster"
+        )

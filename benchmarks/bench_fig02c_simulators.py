@@ -8,13 +8,15 @@ the crossovers and the MPS flatness are the reproduced shape.
 import numpy as np
 import pytest
 
+from repro.backends import resolve_backend
 from repro.common.timing import timed
 from repro.circuits.hea import brick_ansatz
-from repro.simulators.density_matrix import DensityMatrixSimulator
 from repro.simulators.mps_circuit import MPSSimulator
-from repro.simulators.statevector import StatevectorSimulator
 
 from conftest import print_table
+
+# registry names of the three compared engines (short tags for the table)
+_BACKENDS = {"sv": "statevector", "dm": "density_matrix", "mps": "mps"}
 
 
 def _bound_brick(n_qubits: int):
@@ -27,11 +29,8 @@ def _time_simulator(kind: str, n_qubits: int) -> float:
     circ = _bound_brick(n_qubits)
 
     def run():
-        if kind == "sv":
-            return StatevectorSimulator(n_qubits).run(circ)
-        if kind == "dm":
-            return DensityMatrixSimulator(n_qubits).run(circ)
-        return MPSSimulator(n_qubits, max_bond_dimension=8).run(circ)
+        return resolve_backend(_BACKENDS[kind], n_qubits,
+                               max_bond_dimension=8).run(circ)
 
     secs, _ = timed(run, repeat=2)
     return secs

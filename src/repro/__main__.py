@@ -71,8 +71,9 @@ def cmd_energy(args) -> int:
         print(f"E(VQE)  = {res.energy:+.8f} Ha "
               f"({res.n_evaluations} evaluations, {res.optimizer})")
     elif method.startswith("dmet"):
+        # dmet-vqe solves fragments on the backend chosen via --simulator
         solver = {"dmet": "fci", "dmet-fci": "fci",
-                  "dmet-vqe": "vqe-fast"}.get(method)
+                  "dmet-vqe": f"vqe-{args.simulator}"}.get(method)
         if solver is None:
             raise ReproError(f"unknown method {args.method!r}")
         res = job.dmet_energy(atoms_per_group=args.fragment_atoms,
@@ -132,6 +133,11 @@ def cmd_info(args) -> int:
     print(f"Pauli strings   : {len(ham)}  (O(N^4) law, cf. paper Fig. 5)")
     print(f"UCCSD           : {ansatz.n_parameters} parameters, "
           f"{len(circ)} gates ({circ.n_two_qubit_gates()} two-qubit)")
+    from repro.backends import available_backends, backend_spec
+
+    print("backends        : " + ", ".join(
+        f"{name} ({backend_spec(name).kind})"
+        for name in available_backends()))
     return 0
 
 
@@ -154,12 +160,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--basis", default="sto-3g")
         p.add_argument("--frozen-core", type=int, default=0)
 
+    from repro.backends import available_backends
+
+    backend_names = " | ".join(available_backends())
     pe = sub.add_parser("energy", help="compute ground-state energies")
     add_molecule_args(pe)
     pe.add_argument("--method", default="vqe",
                     help="hf | ccsd | fci | vqe | dmet-fci | dmet-vqe")
     pe.add_argument("--simulator", default="fast",
-                    help="fast | mps | statevector (vqe only)")
+                    choices=available_backends(), metavar="BACKEND",
+                    help=f"registered backend: {backend_names} (vqe only)")
     pe.add_argument("--bond-dimension", type=int, default=None)
     pe.add_argument("--fragment-atoms", type=int, default=2)
     pe.add_argument("--equivalent", action="store_true",

@@ -1,0 +1,261 @@
+"""The backend registry: one namespace for every simulation engine.
+
+Q2Chemistry is explicitly built around swappable simulation backends behind
+one interface (Fan et al., arXiv:2208.10978); this module is that seam for
+the reproduction.  A *backend* is anything satisfying the :class:`Backend`
+protocol — run a bound circuit, snapshot itself, measure Pauli strings and
+whole operators (batched), sample bitstrings — and a :class:`BackendSpec`
+describes how to build one.  Everything that used to switch on simulator
+name strings (`EnergyEvaluator`, `VQE`, the DMET solvers, the CLI, the
+benchmarks) now resolves through :func:`resolve_backend` /
+:func:`backend_spec`, so adding a backend here (sharded, multi-process,
+GPU-style, a real device...) makes it available everywhere at once:
+
+>>> from repro.backends import register_backend, resolve_backend
+>>> register_backend("my_sv", factory=my_factory, description="...")
+>>> sim = resolve_backend("my_sv", n_qubits=8)
+
+Two backend kinds exist:
+
+* ``"circuit"`` — executes arbitrary bound circuits (statevector, mps,
+  density_matrix).  ``factory(n_qubits, **opts)`` returns a fresh simulator.
+* ``"ansatz"`` — bypasses circuits for a structured ansatz (the ``fast``
+  permutation+phase UCC evaluator).  ``make_evaluator(hamiltonian, ansatz,
+  **opts)`` returns an energy-callable evaluator instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.common.errors import ValidationError
+from repro.operators.pauli import PauliTerm, QubitOperator
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Structural interface every circuit backend provides.
+
+    Attributes
+    ----------
+    n_qubits:
+        Register width.
+    natively_dense:
+        True when the backend exposes a flat amplitude vector cheaply, in
+        which case callers may route measurements through the compiled
+        Pauli kernels (:mod:`repro.simulators.pauli_kernels`).
+    """
+
+    n_qubits: int
+    natively_dense: bool
+
+    def run(self, circuit) -> "Backend":
+        """Apply a bound circuit in place; returns self."""
+        ...
+
+    def reset(self) -> None:
+        """Return to |0...0>."""
+        ...
+
+    def copy(self) -> "Backend":
+        """Independent snapshot of the current state."""
+        ...
+
+    def expectation_pauli(self, term: PauliTerm) -> float:
+        """<P> of a single Pauli string."""
+        ...
+
+    def expectation(self, op: QubitOperator) -> float:
+        """Batched <H> of a whole weighted Pauli-string operator."""
+        ...
+
+    def sample(self, n_samples: int, seed: int | None = None) -> list[str]:
+        """Computational-basis bitstring samples (qubit 0 first)."""
+        ...
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Registry entry describing one backend.
+
+    ``factory(n_qubits, **opts)`` must tolerate (ignore) the standard
+    cross-backend options it does not consume — `max_bond_dimension` and
+    `cutoff` are always forwarded by the evaluator layer so that one call
+    signature drives every backend.
+    """
+
+    name: str
+    kind: str = "circuit"  # "circuit" | "ansatz"
+    factory: Callable[..., Any] | None = None
+    make_evaluator: Callable[..., Any] | None = None
+    description: str = ""
+    options: tuple[str, ...] = field(default=())
+
+    def create(self, n_qubits: int, **opts) -> Any:
+        """Instantiate the backend for ``n_qubits`` (circuit kind only)."""
+        if self.kind != "circuit" or self.factory is None:
+            raise ValidationError(
+                f"backend {self.name!r} does not execute circuits; "
+                f"use its evaluator interface"
+            )
+        return self.factory(n_qubits, **opts)
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+
+
+def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
+                     kind: str = "circuit",
+                     make_evaluator: Callable[..., Any] | None = None,
+                     description: str = "", options: tuple[str, ...] = (),
+                     overwrite: bool = False) -> BackendSpec:
+    """Register a backend under ``name`` (third parties welcome).
+
+    Parameters
+    ----------
+    name:
+        Registry key, e.g. ``"statevector"``; resolved case-insensitively.
+    factory:
+        ``(n_qubits, **opts) -> Backend`` for circuit backends.
+    kind:
+        ``"circuit"`` or ``"ansatz"``.
+    make_evaluator:
+        ``(hamiltonian, ansatz, **opts) -> evaluator`` for ansatz backends.
+    description, options:
+        Documentation surfaced by the CLI (`--simulator` help) and docs.
+    overwrite:
+        Allow replacing an existing registration.
+    """
+    key = name.lower()
+    if kind not in ("circuit", "ansatz"):
+        raise ValidationError(f"unknown backend kind {kind!r}")
+    if kind == "circuit" and factory is None:
+        raise ValidationError("circuit backends need a factory")
+    if kind == "ansatz" and make_evaluator is None:
+        raise ValidationError("ansatz backends need make_evaluator")
+    if key in _REGISTRY and not overwrite:
+        raise ValidationError(f"backend {name!r} is already registered")
+    spec = BackendSpec(name=key, kind=kind, factory=factory,
+                       make_evaluator=make_evaluator,
+                       description=description, options=tuple(options))
+    _REGISTRY[key] = spec
+    return spec
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registration (mainly for tests of third-party plugging)."""
+    _REGISTRY.pop(name.lower(), None)
+
+
+def backend_spec(name: str) -> BackendSpec:
+    """Look up a :class:`BackendSpec`; raises with the known names listed."""
+    if not isinstance(name, str):
+        raise ValidationError(f"backend name must be a string, got {name!r}")
+    spec = _REGISTRY.get(name.lower())
+    if spec is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValidationError(
+            f"unknown simulator backend {name!r}; registered: {known}"
+        )
+    return spec
+
+
+def resolve_backend(name: str, n_qubits: int, **opts) -> Backend:
+    """Instantiate a registered circuit backend for ``n_qubits``.
+
+    The single entry point replacing every ad-hoc
+    ``if simulator name ... else ...`` construction site; standard options
+    (``max_bond_dimension``, ``cutoff``) may always be passed and are
+    ignored by backends that do not use them.
+    """
+    return backend_spec(name).create(n_qubits, **opts)
+
+
+def available_backends(kind: str | None = None) -> list[str]:
+    """Sorted names of registered backends, optionally filtered by kind."""
+    return sorted(n for n, s in _REGISTRY.items()
+                  if kind is None or s.kind == kind)
+
+
+# -- built-in registrations ---------------------------------------------------
+#
+# Imports happen inside the factories so that importing repro.backends stays
+# cheap and free of import cycles (the vqe layer imports this module).
+
+
+def _make_statevector(n_qubits: int, *, max_qubits: int = 26,
+                      **_cross_backend_opts) -> Backend:
+    """Dense statevector backend (batched Pauli-kernel measurements)."""
+    from repro.simulators.statevector import StatevectorSimulator
+
+    return StatevectorSimulator(n_qubits, max_qubits=max_qubits)
+
+
+def _make_mps(n_qubits: int, *, max_bond_dimension: int | None = None,
+              cutoff: float = 1e-12, mode: str = "optimized",
+              max_truncation_error: float | None = None,
+              **_cross_backend_opts) -> Backend:
+    """MPS backend (the paper's simulator; transfer-matrix measurements)."""
+    from repro.simulators.mps_circuit import MPSSimulator
+
+    return MPSSimulator(n_qubits, max_bond_dimension=max_bond_dimension,
+                        cutoff=cutoff, mode=mode,
+                        max_truncation_error=max_truncation_error)
+
+
+def _make_density_matrix(n_qubits: int, *, max_qubits: int = 13,
+                         **_cross_backend_opts) -> Backend:
+    """Density-matrix backend (the 4^n mixed-state baseline)."""
+    from repro.simulators.density_matrix import DensityMatrixSimulator
+
+    return DensityMatrixSimulator(n_qubits, max_qubits=max_qubits)
+
+
+def _make_fast_evaluator(hamiltonian: QubitOperator, ansatz, *,
+                         max_qubits: int = 16, **_cross_backend_opts):
+    """Permutation+phase dense UCC evaluator (no circuits involved)."""
+    from repro.circuits.uccsd import UCCSDAnsatz
+    from repro.vqe.fast_sv import FastUCCEvaluator
+
+    if not isinstance(ansatz, UCCSDAnsatz):
+        raise ValidationError(
+            "the 'fast' backend requires a structured UCCSDAnsatz"
+        )
+    return FastUCCEvaluator(hamiltonian, ansatz, max_qubits=max_qubits)
+
+
+register_backend(
+    "statevector", _make_statevector,
+    description="dense 2^n amplitude vector; gate-by-gate tensordot, "
+                "batched compiled-observable measurement",
+    options=("max_qubits",),
+)
+register_backend(
+    "mps", _make_mps,
+    description="matrix-product-state simulator (the paper's algorithm); "
+                "bounded bond dimension, transfer-matrix measurement",
+    options=("max_bond_dimension", "cutoff", "mode", "max_truncation_error"),
+)
+register_backend(
+    "density_matrix", _make_density_matrix,
+    description="dense 4^n density matrix; supports noise channels",
+    options=("max_qubits",),
+)
+register_backend(
+    "fast", kind="ansatz", make_evaluator=_make_fast_evaluator,
+    description="closed-form permutation+phase UCC evaluator; ~100x faster "
+                "than gate-by-gate simulation at DMET fragment sizes",
+    options=("max_qubits",),
+)
+
+
+__all__ = [
+    "Backend",
+    "BackendSpec",
+    "register_backend",
+    "unregister_backend",
+    "backend_spec",
+    "resolve_backend",
+    "available_backends",
+]

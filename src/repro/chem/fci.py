@@ -21,6 +21,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.linalg import LinearOperator, eigsh
 
+from repro.common.bits import popcount
 from repro.common.errors import ValidationError
 from repro.chem.mo import MOIntegrals
 
@@ -61,7 +62,7 @@ def _excitation_matrices(strings: list[int], n_orbitals: int) -> np.ndarray:
                 i_idx = index[t]
                 lo, hi = (p, q) if p < q else (q, p)
                 between = s1 >> (lo + 1)
-                count = bin(between & ((1 << (hi - lo - 1)) - 1)).count("1") \
+                count = popcount(between & ((1 << (hi - lo - 1)) - 1)) \
                     if hi > lo + 1 else 0
                 sign = -1.0 if count % 2 else 1.0
                 e[p, q, i_idx, j_idx] += sign

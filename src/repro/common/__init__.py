@@ -5,6 +5,7 @@ handling, determinism and timing are uniform across the chemistry substrate,
 the simulators and the parallel runtime.
 """
 
+from repro.common.bits import popcount, parity
 from repro.common.errors import (
     ReproError,
     ConvergenceError,
@@ -22,6 +23,8 @@ from repro.common.rng import default_rng
 from repro.common.timing import Timer, WallClock, timed
 
 __all__ = [
+    "popcount",
+    "parity",
     "ReproError",
     "ConvergenceError",
     "ValidationError",

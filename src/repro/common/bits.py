@@ -1,0 +1,20 @@
+"""Bit-twiddling primitives shared across the operator and simulator layers.
+
+Pauli algebra, the fermionic mappings and the dense Pauli kernels all reduce
+to popcounts over symplectic bitmasks; keeping the single scalar popcount
+here (as :func:`popcount`, backed by :meth:`int.bit_count`) means every layer
+agrees on the fastest available implementation instead of re-deriving
+``bin(x).count("1")`` locally.
+"""
+
+from __future__ import annotations
+
+
+def popcount(x: int) -> int:
+    """Number of set bits of a non-negative integer (Hamming weight)."""
+    return x.bit_count()
+
+
+def parity(x: int) -> int:
+    """Parity (popcount mod 2) of a non-negative integer."""
+    return x.bit_count() & 1

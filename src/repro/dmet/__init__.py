@@ -15,6 +15,7 @@ from repro.dmet.solvers import (
     FCIFragmentSolver,
     VQEFragmentSolver,
     embedded_rhf,
+    make_fragment_solver,
 )
 from repro.dmet.dmet import DMET, DMETResult, atoms_per_fragment
 
@@ -29,6 +30,7 @@ __all__ = [
     "FCIFragmentSolver",
     "VQEFragmentSolver",
     "embedded_rhf",
+    "make_fragment_solver",
     "DMET",
     "DMETResult",
     "atoms_per_fragment",

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import linalg as sla
 
+from repro.backends import backend_spec
 from repro.common.errors import ConvergenceError, ValidationError
 from repro.chem.mo import MOIntegrals
 from repro.chem.fci import FCISolver
@@ -94,10 +95,12 @@ class VQEFragmentSolver:
     and rotated back to the embedding orbital basis for the DMET energy
     assembly.
 
-    ``simulator`` choices: "fast" (permutation+phase dense evaluator -
-    numerically identical to the circuit simulators and ~100x faster at
-    DMET fragment sizes, the default), "mps" (the paper-faithful
-    MPS pipeline) or "statevector" (gate-by-gate dense).
+    ``simulator`` is any backend registered in :mod:`repro.backends`:
+    "fast" (permutation+phase dense evaluator - numerically identical to
+    the circuit simulators and ~100x faster at DMET fragment sizes, the
+    default), "mps" (the paper-faithful MPS pipeline), "statevector"
+    (gate-by-gate dense), "density_matrix", or anything registered by a
+    third party.
     """
 
     def __init__(self, *, simulator: str = "fast",
@@ -106,6 +109,7 @@ class VQEFragmentSolver:
                  max_iterations: int = 4000,
                  initial_parameters: str = "zeros",
                  warm_start: bool = True):
+        backend_spec(simulator)  # fail fast on unknown backend names
         self.simulator = simulator
         self.max_bond_dimension = max_bond_dimension
         self.optimizer = optimizer
@@ -171,6 +175,33 @@ class VQEFragmentSolver:
                 "n_parameters": ansatz.n_parameters,
             },
         )
+
+
+def make_fragment_solver(name: str, *,
+                         max_bond_dimension: int | None = None,
+                         optimizer: str = "cobyla", tolerance: float = 1e-8,
+                         max_iterations: int = 4000,
+                         **vqe_options):
+    """Build a fragment solver from its name (the single dispatch point).
+
+    ``"fci"`` gives exact diagonalization; ``"vqe-<backend>"`` gives
+    UCCSD-VQE on any backend registered in :mod:`repro.backends`
+    (``vqe-fast``, ``vqe-mps``, ``vqe-statevector``, ``vqe-density_matrix``,
+    or a third-party registration).  VQE options are ignored by the FCI
+    solver so one call signature serves every solver choice.
+    """
+    if name == "fci":
+        return FCIFragmentSolver()
+    if name.startswith("vqe-"):
+        backend = name.split("-", 1)[1]
+        backend_spec(backend)  # surfaces the registered names on typos
+        return VQEFragmentSolver(
+            simulator=backend, max_bond_dimension=max_bond_dimension,
+            optimizer=optimizer, tolerance=tolerance,
+            max_iterations=max_iterations, **vqe_options)
+    raise ValidationError(
+        f"unknown DMET solver {name!r}; use 'fci' or 'vqe-<backend>'"
+    )
 
 
 def embedded_rhf(problem: EmbeddingProblem, mu: float = 0.0

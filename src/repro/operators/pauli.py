@@ -17,6 +17,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.common.bits import popcount as _popcount
 from repro.common.errors import ValidationError
 
 _PAULI_CHARS = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
@@ -28,10 +29,6 @@ _PAULI_MATRICES = {
     "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
     "Z": np.array([[1, 0], [0, -1]], dtype=complex),
 }
-
-
-def _popcount(x: int) -> int:
-    return bin(x).count("1")
 
 
 @dataclass(frozen=True)

@@ -124,7 +124,15 @@ class ThreeLevelDriver:
         (no communication), so a thread pool reproduces the embarrassing
         parallelism at laptop scale; BLAS releases the GIL inside the heavy
         tensor kernels.
+
+        ``solver`` is a fragment-solver object, or a solver name ("fci",
+        "vqe-<backend>") resolved through the backend registry via
+        :func:`repro.dmet.solvers.make_fragment_solver`.
         """
+        if isinstance(solver, str):
+            from repro.dmet.solvers import make_fragment_solver
+
+            solver = make_fragment_solver(solver)
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             futures = [pool.submit(solver.solve, p, mu) for p in problems]
             return [f.result() for f in futures]

@@ -36,7 +36,7 @@ from repro.dmet.orthogonalize import (
     lowdin_orthogonalize,
 )
 from repro.dmet.dmet import DMET, DMETResult, atoms_per_fragment
-from repro.dmet.solvers import FCIFragmentSolver, VQEFragmentSolver
+from repro.dmet.solvers import make_fragment_solver
 
 
 @dataclass
@@ -120,19 +120,15 @@ class Q2Chemistry:
                     vqe_tolerance: float = 1e-7) -> DMETResult:
         """DMET with FCI or (MPS-)VQE fragment solvers.
 
-        ``solver``: "fci" | "vqe-fast" | "vqe-mps" | "vqe-statevector".
+        ``solver``: "fci" or "vqe-<backend>" for any backend registered in
+        :mod:`repro.backends` (e.g. "vqe-fast", "vqe-mps",
+        "vqe-statevector").
         """
         if fragments is None:
             fragments = atoms_per_fragment(self.system, atoms_per_group)
-        if solver == "fci":
-            frag_solver = FCIFragmentSolver()
-        elif solver in ("vqe-fast", "vqe-mps", "vqe-statevector"):
-            frag_solver = VQEFragmentSolver(
-                simulator=solver.split("-", 1)[1],
-                max_bond_dimension=max_bond_dimension,
-                optimizer=vqe_optimizer, tolerance=vqe_tolerance)
-        else:
-            raise ValidationError(f"unknown DMET solver {solver!r}")
+        frag_solver = make_fragment_solver(
+            solver, max_bond_dimension=max_bond_dimension,
+            optimizer=vqe_optimizer, tolerance=vqe_tolerance)
         dmet = DMET(self.system, fragments, frag_solver,
                     all_fragments_equivalent=all_fragments_equivalent,
                     mu_tolerance=mu_tolerance)

@@ -14,6 +14,11 @@ from repro.simulators.kernels import (
     tensordot_fused,
     svd_truncated,
 )
+from repro.simulators.pauli_kernels import (
+    CompiledObservable,
+    PauliAction,
+    compile_observable,
+)
 from repro.simulators.statevector import StatevectorSimulator
 from repro.simulators.density_matrix import DensityMatrixSimulator
 from repro.simulators.mps import MPS, TruncationStats
@@ -25,6 +30,9 @@ __all__ = [
     "MPO",
     "DMRG",
     "DMRGResult",
+    "CompiledObservable",
+    "PauliAction",
+    "compile_observable",
     "KernelBackend",
     "get_backend",
     "set_backend",

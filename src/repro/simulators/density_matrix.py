@@ -17,6 +17,9 @@ from repro.operators.pauli import PauliTerm, QubitOperator
 class DensityMatrixSimulator:
     """Exact mixed-state simulation of bound circuits."""
 
+    #: mixed states have no dense amplitude vector to hand to the kernels
+    natively_dense = False
+
     def __init__(self, n_qubits: int, *, max_qubits: int = 13):
         if n_qubits < 1:
             raise ValidationError("need at least one qubit")
@@ -39,6 +42,13 @@ class DensityMatrixSimulator:
     def density_matrix(self) -> np.ndarray:
         dim = 2 ** self.n_qubits
         return self.rho.reshape(dim, dim).copy()
+
+    def copy(self) -> "DensityMatrixSimulator":
+        """Independent snapshot of the current mixed state."""
+        clone = DensityMatrixSimulator(self.n_qubits,
+                                       max_qubits=max(self.n_qubits, 13))
+        clone.rho = self.rho.copy()
+        return clone
 
     def purity(self) -> float:
         r = self.density_matrix()
@@ -78,6 +88,7 @@ class DensityMatrixSimulator:
         return float(np.real(np.trace(rho.reshape(dim, dim))))
 
     def expectation(self, op: QubitOperator) -> float:
+        """tr(rho H) for a weighted Pauli-string operator."""
         total = 0.0 + 0.0j
         for term, coeff in op:
             if term.is_identity():
@@ -85,6 +96,17 @@ class DensityMatrixSimulator:
             else:
                 total += coeff * self.expectation_pauli(term)
         return float(np.real(total))
+
+    def sample(self, n_samples: int, seed: int | None = None) -> list[str]:
+        """Computational-basis samples from the diagonal of rho."""
+        if n_samples < 1:
+            raise ValidationError("need at least one sample")
+        from repro.common.rng import default_rng
+
+        probs = np.real(np.diag(self.density_matrix())).clip(min=0.0)
+        probs = probs / probs.sum()
+        draws = default_rng(seed).choice(probs.size, size=n_samples, p=probs)
+        return [format(int(d), f"0{self.n_qubits}b") for d in draws]
 
 
 _PAULIS = {

@@ -40,6 +40,10 @@ class MPSSimulator:
         Forwarded to :class:`repro.simulators.mps.MPS`.
     """
 
+    #: the state lives in tensor-train form; expectations go through the
+    #: transfer-matrix path rather than the dense Pauli kernels
+    natively_dense = False
+
     def __init__(self, n_qubits: int, *, max_bond_dimension: int | None = None,
                  mode: str = "optimized", cutoff: float = 1e-12,
                  max_truncation_error: float | None = None):
@@ -69,6 +73,13 @@ class MPSSimulator:
             raise ValidationError("MPS width mismatch")
         self.state = mps
 
+    def copy(self) -> "MPSSimulator":
+        """Independent snapshot (same truncation controls and mode)."""
+        clone = MPSSimulator(self.n_qubits, mode=self.mode)
+        clone._mps_kwargs = dict(self._mps_kwargs)
+        clone.state = self.state.copy()
+        return clone
+
     # -- execution ----------------------------------------------------------------
 
     def run(self, circuit: Circuit) -> "MPSSimulator":
@@ -92,9 +103,12 @@ class MPSSimulator:
         return self.state.expectation_pauli(term)
 
     def expectation(self, op: QubitOperator) -> float:
-        # <P> is real for every Pauli string; complex coefficients (e.g. in
-        # non-hermitian excitation operators measured for RDMs) are combined
-        # before the final real part is taken.
+        """Batched <H>: every term through the transfer-matrix path.
+
+        <P> is real for every Pauli string; complex coefficients (e.g. in
+        non-hermitian excitation operators measured for RDMs) are combined
+        before the final real part is taken.
+        """
         total = 0.0 + 0.0j
         for term, coeff in op:
             if term.is_identity():
@@ -106,6 +120,10 @@ class MPSSimulator:
     def statevector(self) -> np.ndarray:
         """Dense expansion (small registers; for cross-simulator tests)."""
         return self.state.to_statevector()
+
+    def sample(self, n_samples: int, seed: int | None = None) -> list[str]:
+        """Sequential-conditioning samples (delegates to the MPS state)."""
+        return self.state.sample(n_samples, seed=seed)
 
     # -- diagnostics -----------------------------------------------------------------
 

@@ -16,6 +16,10 @@ import numpy as np
 from repro.common.errors import ValidationError
 from repro.circuits.circuit import Circuit
 from repro.operators.pauli import PauliTerm, QubitOperator
+from repro.simulators.pauli_kernels import (
+    MAX_COMPILED_QUBITS,
+    compile_observable,
+)
 
 
 class StatevectorSimulator:
@@ -28,6 +32,9 @@ class StatevectorSimulator:
     max_qubits:
         Hard safety limit on the dense representation.
     """
+
+    #: dense amplitude access is native, so batched Pauli kernels apply
+    natively_dense = True
 
     def __init__(self, n_qubits: int, *, max_qubits: int = 26):
         if n_qubits < 1:
@@ -58,6 +65,13 @@ class StatevectorSimulator:
     def statevector(self) -> np.ndarray:
         """Flat copy of the amplitudes (qubit 0 = most significant bit)."""
         return self.state.reshape(-1).copy()
+
+    def copy(self) -> "StatevectorSimulator":
+        """Independent snapshot of the current state (same width)."""
+        clone = StatevectorSimulator(self.n_qubits,
+                                     max_qubits=max(self.n_qubits, 26))
+        clone.state = self.state.copy()
+        return clone
 
     def norm(self) -> float:
         return float(np.linalg.norm(self.state))
@@ -101,7 +115,20 @@ class StatevectorSimulator:
         return float(np.real(np.vdot(psi, phi)))
 
     def expectation(self, op: QubitOperator) -> float:
-        """<psi| H |psi> for a weighted Pauli-string operator."""
+        """<psi| H |psi>, batched through the compiled Pauli kernels.
+
+        Terms sharing an X/Y flip mask are evaluated as one gather + one
+        diagonal multiply (see :mod:`repro.simulators.pauli_kernels`);
+        compiled observables are cached, so repeated measurement of the
+        same operator pays compilation once.
+        """
+        if self.n_qubits > MAX_COMPILED_QUBITS:
+            return self.expectation_per_term(op)
+        compiled = compile_observable(op, self.n_qubits)
+        return compiled.expectation(self.state.reshape(-1))
+
+    def expectation_per_term(self, op: QubitOperator) -> float:
+        """Reference per-term contraction loop (the unbatched baseline)."""
         total = 0.0 + 0.0j
         for term, coeff in op:
             if term.is_identity():
@@ -121,6 +148,17 @@ class StatevectorSimulator:
         if len(bits) != self.n_qubits:
             raise ValidationError("bitstring length mismatch")
         return complex(self.state[tuple(int(b) for b in bits)])
+
+    def sample(self, n_samples: int, seed: int | None = None) -> list[str]:
+        """Computational-basis samples from |amplitudes|^2 (qubit 0 first)."""
+        if n_samples < 1:
+            raise ValidationError("need at least one sample")
+        from repro.common.rng import default_rng
+
+        probs = np.abs(self.state.reshape(-1)) ** 2
+        probs = probs / probs.sum()
+        draws = default_rng(seed).choice(probs.size, size=n_samples, p=probs)
+        return [format(int(d), f"0{self.n_qubits}b") for d in draws]
 
 
 _PAULIS = {

@@ -2,9 +2,12 @@
 
 Two measurement paths, both returning <psi(theta)|H|psi(theta)>:
 
-* ``direct`` - run the ansatz once, evaluate every <P_i> by tensor
-  contraction on the final state.  This is the fast path used inside
-  optimization loops.
+* ``direct`` - run the ansatz once, measure the whole Hamiltonian on the
+  final state in one batched call.  On dense backends the operator is
+  compiled once (terms grouped by flip mask, see
+  :mod:`repro.simulators.pauli_kernels`) and reused across optimizer
+  iterations; the MPS backend batches through its transfer-matrix path.
+  This is the fast path used inside optimization loops.
 * ``hadamard`` - the paper-faithful path (Fig. 5): one circuit per Pauli
   string, an ancilla qubit, controlled-Pauli gates and <Z_ancilla> = Re<P>.
   Exactly mimics what a quantum computer (and the paper's simulator) does.
@@ -16,12 +19,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import backend_spec, resolve_backend
 from repro.common.errors import ValidationError
 from repro.circuits.circuit import Circuit
 from repro.circuits.gates import Gate, controlled_pauli_gate
 from repro.operators.pauli import PauliTerm, QubitOperator
-from repro.simulators.statevector import StatevectorSimulator
-from repro.simulators.mps_circuit import MPSSimulator
+from repro.simulators.pauli_kernels import (
+    MAX_COMPILED_QUBITS,
+    CompiledObservable,
+)
 
 
 def hadamard_test_circuit(term: PauliTerm, n_qubits: int,
@@ -54,11 +60,14 @@ class EnergyEvaluator:
     ansatz:
         Parametric circuit preparing |psi(theta)>.
     simulator:
-        "mps" or "statevector".
+        Name of any registered circuit backend (see
+        :func:`repro.backends.available_backends`), e.g. "mps",
+        "statevector" or "density_matrix".
     method:
         "direct" or "hadamard" (see module docstring).
     max_bond_dimension, cutoff:
-        MPS controls (ignored for statevector).
+        Cross-backend options forwarded to the backend factory (the MPS
+        backend consumes them; dense backends ignore them).
     """
 
     def __init__(self, hamiltonian: QubitOperator, ansatz: Circuit, *,
@@ -70,8 +79,12 @@ class EnergyEvaluator:
             raise ValidationError("Hamiltonian must be hermitian")
         if method not in ("direct", "hadamard"):
             raise ValidationError(f"unknown method {method!r}")
-        if simulator not in ("mps", "statevector"):
-            raise ValidationError(f"unknown simulator {simulator!r}")
+        spec = backend_spec(simulator)
+        if spec.kind != "circuit":
+            raise ValidationError(
+                f"backend {simulator!r} does not execute circuits; "
+                f"construct its evaluator through repro.backends instead"
+            )
         if shots is not None and (method != "hadamard" or shots < 1):
             raise ValidationError(
                 "shots requires method='hadamard' and shots >= 1"
@@ -94,6 +107,10 @@ class EnergyEvaluator:
         self.n_qubits = ansatz.n_qubits
         self.evaluations = 0
         self._terms = [(t, c) for t, c in hamiltonian]
+        #: the Hamiltonian compiled for batched dense measurement — built
+        #: lazily on the first direct evaluation against a dense backend,
+        #: then reused across every optimizer iteration
+        self._compiled: CompiledObservable | None = None
         if method == "hadamard":
             # ancilla lives one past the logical register
             self._gadgets = {
@@ -104,11 +121,9 @@ class EnergyEvaluator:
     # -- simulators -----------------------------------------------------------
 
     def _fresh_sim(self, width: int):
-        if self.simulator == "mps":
-            return MPSSimulator(width,
-                                max_bond_dimension=self.max_bond_dimension,
-                                cutoff=self.cutoff)
-        return StatevectorSimulator(width)
+        return resolve_backend(self.simulator, width,
+                               max_bond_dimension=self.max_bond_dimension,
+                               cutoff=self.cutoff)
 
     def _run_ansatz(self, theta: np.ndarray, width: int):
         bound = self.ansatz.bind(theta)
@@ -132,13 +147,17 @@ class EnergyEvaluator:
 
     def _energy_direct(self, theta: np.ndarray) -> float:
         sim = self._run_ansatz(theta, self.n_qubits)
-        total = 0.0
-        for term, coeff in self._terms:
-            if term.is_identity():
-                total += float(np.real(coeff))
-            else:
-                total += float(np.real(coeff)) * sim.expectation_pauli(term)
-        return total
+        if (getattr(sim, "natively_dense", False)
+                and self.n_qubits <= MAX_COMPILED_QUBITS):
+            # compiled once per Hamiltonian: O(#distinct masks) gathers per
+            # evaluation instead of O(terms x weight) tensor contractions
+            if self._compiled is None:
+                self._compiled = CompiledObservable(self.hamiltonian,
+                                                    self.n_qubits)
+            return self._compiled.expectation(sim.statevector())
+        # non-dense backends (MPS, density matrix) batch internally behind
+        # the same expectation(op) interface
+        return sim.expectation(self.hamiltonian)
 
     def _energy_hadamard(self, theta: np.ndarray) -> float:
         """One circuit per Pauli string with an ancilla Hadamard test.
@@ -165,15 +184,7 @@ class EnergyEvaluator:
         return total
 
     def _copy_sim(self, sim):
-        if self.simulator == "mps":
-            clone = MPSSimulator(sim.n_qubits,
-                                 max_bond_dimension=self.max_bond_dimension,
-                                 cutoff=self.cutoff)
-            clone.set_state(sim.state.copy())
-            return clone
-        clone = StatevectorSimulator(sim.n_qubits)
-        clone.set_state(sim.statevector())
-        return clone
+        return sim.copy()
 
     def final_state(self, theta: np.ndarray):
         """Simulator holding |psi(theta)> (for RDM measurement)."""

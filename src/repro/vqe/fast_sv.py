@@ -15,9 +15,13 @@ millisecond, ~100x faster than the gate-by-gate simulators, while remaining
 commute, so operator order is immaterial); the test-suite asserts agreement
 with both circuit simulators.
 
-This is an internal accelerator for DMET fragment solving and optimizer
-tests; the paper-faithful MPS pipeline in :mod:`repro.simulators` remains
-the measured artifact in the benchmarks.
+This is the ansatz-evaluation half of the shared Pauli-kernel layer; the
+permutation+phase primitives themselves (:class:`PauliAction`,
+:class:`CompiledObservable`) live in
+:mod:`repro.simulators.pauli_kernels` where every dense backend shares
+them.  It registers in :mod:`repro.backends` as the ``fast`` backend; the
+paper-faithful MPS pipeline in :mod:`repro.simulators` remains the measured
+artifact in the benchmarks.
 """
 
 from __future__ import annotations
@@ -26,40 +30,12 @@ import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.circuits.uccsd import UCCSDAnsatz
-from repro.operators.pauli import PauliTerm, QubitOperator
-
-
-class PauliAction:
-    """Precomputed permutation+phase action of one Pauli string."""
-
-    __slots__ = ("perm", "phase")
-
-    def __init__(self, term: PauliTerm, n_qubits: int):
-        dim = 1 << n_qubits
-        idx = np.arange(dim)
-        xmask = 0
-        zbits = 0
-        n_y = 0
-        for q, ch in term.ops():
-            bit = 1 << (n_qubits - 1 - q)  # qubit 0 = most significant
-            if ch in ("X", "Y"):
-                xmask |= bit
-            if ch in ("Z", "Y"):
-                zbits |= bit
-            if ch == "Y":
-                n_y += 1
-        src = idx ^ xmask
-        # phase(b) for the source index b = j ^ xmask
-        pc = np.zeros(dim, dtype=np.int64)
-        bits = src & zbits
-        while np.any(bits):
-            pc += bits & 1
-            bits >>= 1
-        self.perm = src
-        self.phase = (1j ** (n_y % 4)) * np.where(pc % 2, -1.0, 1.0)
-
-    def apply(self, psi: np.ndarray) -> np.ndarray:
-        return self.phase * psi[self.perm]
+from repro.operators.pauli import QubitOperator
+from repro.simulators.pauli_kernels import (  # noqa: F401  (PauliAction is
+    CompiledObservable,                       # re-exported for back-compat)
+    PauliAction,
+    compile_observable,
+)
 
 
 class FastUCCEvaluator:
@@ -129,24 +105,11 @@ class FastUCCEvaluator:
                 compiled.append((perm, diag, w_vals,
                                  inv.astype(np.int32)))
             self._factors.append((exc.param_index, compiled))
-        # Hamiltonian terms grouped by flip pattern: all strings sharing an
-        # X/Y mask use the same basis permutation, so their phase vectors
-        # combine into one complex diagonal - one gather per distinct mask
-        # instead of one per term (molecular Hamiltonians compress ~7x)
-        groups: dict[int, list[tuple[PauliAction, complex]]] = {}
-        for t, c in hamiltonian:
-            if t.is_identity():
-                continue
-            groups.setdefault(t.x, []).append((PauliAction(t, n), complex(c)))
-        self._ham_grouped: list[tuple[np.ndarray | None, np.ndarray]] = []
-        for xmask, members in groups.items():
-            diag = np.zeros(dim, dtype=complex)
-            perm = members[0][0].perm
-            for action, coeff in members:
-                diag += coeff * action.phase
-            self._ham_grouped.append((None if xmask == 0 else perm, diag))
-        self._ham_const = complex(hamiltonian.constant())
-        self._action_cache: dict[PauliTerm, PauliAction] = {}
+        # Hamiltonian terms grouped by flip pattern: the shared
+        # CompiledObservable kernel collapses all strings sharing an X/Y
+        # mask into one complex diagonal + one gather (molecular
+        # Hamiltonians compress ~7x)
+        self._ham = CompiledObservable(hamiltonian, n)
         self.evaluations = 0
 
     # -- state preparation ----------------------------------------------------
@@ -186,19 +149,10 @@ class FastUCCEvaluator:
 
     # -- measurement -----------------------------------------------------------
 
-    def _apply_h(self, psi: np.ndarray) -> np.ndarray:
-        out = self._ham_const * psi
-        for perm, diag in self._ham_grouped:
-            if perm is None:
-                out += diag * psi
-            else:
-                out += diag * psi[perm]
-        return out
-
     def energy(self, theta: np.ndarray) -> float:
+        """<H> at the given parameters via the compiled observable."""
         self.evaluations += 1
-        psi = self.state(theta)
-        return float(np.real(np.vdot(psi, self._apply_h(psi))))
+        return self._ham.expectation(self.state(theta))
 
     __call__ = energy
 
@@ -207,18 +161,8 @@ class FastUCCEvaluator:
         return FastStateAdapter(self, self.state(theta))
 
     def expectation_state(self, psi: np.ndarray, op: QubitOperator) -> float:
-        """<psi| op |psi> with cached Pauli actions (used for RDMs)."""
-        total = 0.0 + 0.0j
-        for term, coeff in op:
-            if term.is_identity():
-                total += coeff * np.vdot(psi, psi)
-                continue
-            action = self._action_cache.get(term)
-            if action is None:
-                action = PauliAction(term, self.n_qubits)
-                self._action_cache[term] = action
-            total += coeff * np.vdot(psi, action.apply(psi))
-        return float(np.real(total))
+        """<psi| op |psi> through the shared compile cache (used for RDMs)."""
+        return compile_observable(op, self.n_qubits).expectation(psi)
 
 
 class FastStateAdapter:

@@ -57,14 +57,16 @@ def partition_pauli_terms(hamiltonian: QubitOperator, n_groups: int,
         for i, it in enumerate(items):
             groups[i % n_groups].append(it)
     elif strategy == "lpt":
-        order = sorted(items, key=lambda it: estimate_term_cost(it[0]),
-                       reverse=True)
+        # compute each term's cost exactly once; the sort key and the heap
+        # updates reuse it instead of re-deriving the span per comparison
+        costed = sorted(((estimate_term_cost(t), (t, c)) for t, c in items),
+                        key=lambda pair: pair[0], reverse=True)
         heap = [(0.0, g) for g in range(n_groups)]
         heapq.heapify(heap)
-        for it in order:
+        for cost, it in costed:
             load, g = heapq.heappop(heap)
             groups[g].append(it)
-            heapq.heappush(heap, (load + estimate_term_cost(it[0]), g))
+            heapq.heappush(heap, (load + cost, g))
     else:
         raise ValidationError(f"unknown partition strategy {strategy!r}")
     return groups

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backends import backend_spec
 from repro.common.errors import ValidationError
 from repro.circuits.circuit import Circuit
 from repro.circuits.uccsd import UCCSDAnsatz
@@ -54,7 +55,9 @@ class VQE:
     ansatz:
         Parametric circuit, or a :class:`UCCSDAnsatz` (its circuit is built).
     simulator / method / max_bond_dimension:
-        Forwarded to :class:`EnergyEvaluator`.
+        Backend name resolved through :mod:`repro.backends` (any registered
+        circuit backend, or an ansatz backend such as "fast"); method and
+        bond dimension are forwarded to :class:`EnergyEvaluator`.
     optimizer:
         "cobyla" | "l-bfgs-b" | "nelder-mead" | "spsa" | "adam".
     """
@@ -66,15 +69,15 @@ class VQE:
                  optimizer: str = "cobyla", tolerance: float = 1e-8,
                  max_iterations: int = 2000):
         self.uccsd = ansatz if isinstance(ansatz, UCCSDAnsatz) else None
-        if simulator == "fast":
-            # permutation+phase dense path: requires the structured ansatz
+        spec = backend_spec(simulator)
+        if spec.kind == "ansatz":
+            # closed-form evaluator (e.g. "fast"): bypasses circuits, so it
+            # needs the structured ansatz rather than a flat gate list
             if self.uccsd is None:
                 raise ValidationError(
-                    "simulator='fast' requires a UCCSDAnsatz"
+                    f"backend {simulator!r} requires a UCCSDAnsatz"
                 )
-            from repro.vqe.fast_sv import FastUCCEvaluator
-
-            self.evaluator = FastUCCEvaluator(hamiltonian, self.uccsd)
+            self.evaluator = spec.make_evaluator(hamiltonian, self.uccsd)
             self.n_parameters = self.uccsd.n_parameters
         else:
             circuit = (ansatz.circuit() if isinstance(ansatz, UCCSDAnsatz)
