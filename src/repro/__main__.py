@@ -66,8 +66,12 @@ def cmd_energy(args) -> int:
     elif method == "fci":
         print(f"E(FCI)  = {job.fci_energy():+.8f} Ha")
     elif method == "vqe":
+        # --workers N routes measurements through the level-2 parallel
+        # engine (needs a shareable-state backend, e.g. statevector)
+        parallel = args.executor if args.workers > 1 else None
         res = job.vqe_energy(simulator=args.simulator,
-                             max_bond_dimension=args.bond_dimension)
+                             max_bond_dimension=args.bond_dimension,
+                             parallel=parallel, n_workers=args.workers)
         print(f"E(VQE)  = {res.energy:+.8f} Ha "
               f"({res.n_evaluations} evaluations, {res.optimizer})")
     elif method.startswith("dmet"):
@@ -78,7 +82,9 @@ def cmd_energy(args) -> int:
             raise ReproError(f"unknown method {args.method!r}")
         res = job.dmet_energy(atoms_per_group=args.fragment_atoms,
                               solver=solver,
-                              all_fragments_equivalent=args.equivalent)
+                              all_fragments_equivalent=args.equivalent,
+                              n_workers=args.workers,
+                              executor=args.executor)
         print(f"E(DMET) = {res.energy:+.8f} Ha "
               f"(mu={res.chemical_potential:+.5f}, "
               f"{res.mu_iterations} mu iterations, "
@@ -171,6 +177,14 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=available_backends(), metavar="BACKEND",
                     help=f"registered backend: {backend_names} (vqe only)")
     pe.add_argument("--bond-dimension", type=int, default=None)
+    pe.add_argument("--workers", type=int, default=1,
+                    help="worker count for the parallel execution engine: "
+                         "DMET fragments (level 1) and VQE Pauli-group "
+                         "measurement batches (level 2); results are "
+                         "bitwise independent of the count")
+    pe.add_argument("--executor", default="thread",
+                    help="registered executor backend: serial | thread | "
+                         "process (used when --workers > 1)")
     pe.add_argument("--fragment-atoms", type=int, default=2)
     pe.add_argument("--equivalent", action="store_true",
                     help="treat all fragments as symmetry equivalent")

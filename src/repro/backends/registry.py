@@ -83,6 +83,12 @@ class BackendSpec:
     cross-backend options it does not consume — `max_bond_dimension` and
     `cutoff` are always forwarded by the evaluator layer so that one call
     signature drives every backend.
+
+    ``picklable`` and ``shareable_state`` advertise what the real parallel
+    engine (:mod:`repro.parallel.executor`) may do with the backend:
+    whether instances can be shipped to process-pool workers, and whether
+    the backend exposes a dense statevector that can be exported through
+    ``multiprocessing.shared_memory`` for worker-side batched measurement.
     """
 
     name: str
@@ -91,6 +97,11 @@ class BackendSpec:
     make_evaluator: Callable[..., Any] | None = None
     description: str = ""
     options: tuple[str, ...] = field(default=())
+    #: instances survive pickling to process-pool workers
+    picklable: bool = True
+    #: exposes a dense statevector shareable via shared memory (the
+    #: process-parallel measurement path requires this)
+    shareable_state: bool = False
 
     def create(self, n_qubits: int, **opts) -> Any:
         """Instantiate the backend for ``n_qubits`` (circuit kind only)."""
@@ -109,6 +120,7 @@ def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
                      kind: str = "circuit",
                      make_evaluator: Callable[..., Any] | None = None,
                      description: str = "", options: tuple[str, ...] = (),
+                     picklable: bool = True, shareable_state: bool = False,
                      overwrite: bool = False) -> BackendSpec:
     """Register a backend under ``name`` (third parties welcome).
 
@@ -124,6 +136,8 @@ def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
         ``(hamiltonian, ansatz, **opts) -> evaluator`` for ansatz backends.
     description, options:
         Documentation surfaced by the CLI (`--simulator` help) and docs.
+    picklable, shareable_state:
+        Parallel-engine capabilities (see :class:`BackendSpec`).
     overwrite:
         Allow replacing an existing registration.
     """
@@ -138,7 +152,8 @@ def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
         raise ValidationError(f"backend {name!r} is already registered")
     spec = BackendSpec(name=key, kind=kind, factory=factory,
                        make_evaluator=make_evaluator,
-                       description=description, options=tuple(options))
+                       description=description, options=tuple(options),
+                       picklable=picklable, shareable_state=shareable_state)
     _REGISTRY[key] = spec
     return spec
 
@@ -230,6 +245,7 @@ register_backend(
     description="dense 2^n amplitude vector; gate-by-gate tensordot, "
                 "batched compiled-observable measurement",
     options=("max_qubits",),
+    shareable_state=True,
 )
 register_backend(
     "mps", _make_mps,
@@ -247,6 +263,7 @@ register_backend(
     description="closed-form permutation+phase UCC evaluator; ~100x faster "
                 "than gate-by-gate simulation at DMET fragment sizes",
     options=("max_qubits",),
+    shareable_state=True,
 )
 
 

@@ -1,0 +1,54 @@
+"""Deterministic floating-point reductions.
+
+Parallel energy assembly sums many per-group partial expectations.  Naive
+``sum`` over an arbitrarily ordered result stream makes the total depend on
+worker scheduling (float addition is not associative), which breaks the
+bitwise-reproducibility contract of the three-level engine: the same
+Hamiltonian at the same parameters must give the *same bits* for any worker
+count.  Both reducers here consume an explicitly ordered sequence and use a
+fixed summation topology, so the result depends only on the values and
+their order - never on how the work was scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def kahan_sum(values: Iterable[float]) -> float:
+    """Compensated (Kahan) summation in the given order.
+
+    Deterministic for a fixed input order and more accurate than naive
+    left-to-right addition: the running compensation term recovers the
+    low-order bits each addition discards.
+    """
+    total = 0.0
+    comp = 0.0
+    for v in values:
+        y = float(v) - comp
+        t = total + y
+        comp = (t - total) - y
+        total = t
+    return total
+
+
+def pairwise_sum(values: Sequence[float]) -> float:
+    """Fixed-topology pairwise (tree) summation.
+
+    Splits the sequence at ``len // 2`` recursively, so the reduction tree -
+    and therefore the rounding - is a pure function of the input order and
+    length.  O(log n) error growth versus O(n) for naive summation.
+    """
+    vals = list(values)
+    n = len(vals)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return float(vals[0])
+    if n <= 8:
+        return kahan_sum(vals)
+    half = n // 2
+    return pairwise_sum(vals[:half]) + pairwise_sum(vals[half:])
+
+
+__all__ = ["kahan_sum", "pairwise_sum"]

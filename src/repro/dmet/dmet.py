@@ -86,6 +86,12 @@ class DMET:
         Convergence threshold on |N(mu) - N_target| (electrons).
     max_mu_iterations:
         Budget for the chemical-potential search.
+    n_workers / executor:
+        ``n_workers > 1`` solves distinct fragments concurrently - the
+        paper's first (embarrassingly parallel) level executed for real.
+        ``executor`` names the registered execution engine: "thread" (the
+        default) or "process" for real multiprocess fragment dispatch
+        (requires a picklable solver).
     """
 
     def __init__(self, system: OrthogonalSystem,
@@ -94,16 +100,15 @@ class DMET:
                  all_fragments_equivalent: bool = False,
                  mu_tolerance: float = 1e-5,
                  max_mu_iterations: int = 30,
-                 n_workers: int = 1):
+                 n_workers: int = 1, executor: str = "thread"):
         self.system = system
         self.solver = solver if solver is not None else FCIFragmentSolver()
         self.bath_tolerance = bath_tolerance
         self.all_fragments_equivalent = all_fragments_equivalent
         self.mu_tolerance = mu_tolerance
         self.max_mu_iterations = max_mu_iterations
-        #: >1 solves distinct fragments concurrently on a thread pool - the
-        #: paper's first (embarrassingly parallel) level executed for real
         self.n_workers = n_workers
+        self.executor = executor
 
         seen: set[int] = set()
         for frag in fragments:
@@ -139,7 +144,8 @@ class DMET:
             from repro.parallel.threelevel import ThreeLevelDriver
 
             solutions = ThreeLevelDriver.run_fragments_local(
-                self.problems, self.solver, mu, max_workers=self.n_workers)
+                self.problems, self.solver, mu, max_workers=self.n_workers,
+                executor=self.executor)
         else:
             solutions = [self.solver.solve(p, mu=mu) for p in self.problems]
         energies: list[float] = []

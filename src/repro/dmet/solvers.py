@@ -67,6 +67,8 @@ class FCIFragmentSolver:
     """Exact diagonalization of the embedded problem."""
 
     name = "fci"
+    #: instances survive pickling to process-pool fragment workers
+    picklable = True
 
     def solve(self, problem: EmbeddingProblem, mu: float = 0.0
               ) -> FragmentSolution:
@@ -102,6 +104,11 @@ class VQEFragmentSolver:
     (gate-by-gate dense), "density_matrix", or anything registered by a
     third party.
     """
+
+    #: holds only plain config + a numpy array, so process-pool fragment
+    #: dispatch can ship the solver to workers (warm-start state stays in
+    #: the worker between calls it receives)
+    picklable = True
 
     def __init__(self, *, simulator: str = "fast",
                  max_bond_dimension: int | None = None,

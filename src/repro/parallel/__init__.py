@@ -19,15 +19,31 @@ from repro.parallel.comm import SimCluster, SimCommunicator, CommStats
 from repro.parallel.scheduler import (
     schedule_static,
     schedule_lpt,
+    chunk_round_robin,
     makespan,
     Task,
+)
+from repro.parallel.executor import (
+    ExecutorCounters,
+    GroupedObservable,
+    ProcessExecutor,
+    SerialExecutor,
+    SharedStatevector,
+    ThreadExecutor,
+    available_executors,
+    register_executor,
+    resolve_executor,
 )
 from repro.parallel.perfmodel import (
     CircuitCostModel,
     VQEIterationModel,
     ScalingExperiment,
 )
-from repro.parallel.threelevel import ThreeLevelDriver, DistributedVQEReport
+from repro.parallel.threelevel import (
+    DistributedVQEReport,
+    ThreeLevelDriver,
+    ThreeLevelEngine,
+)
 
 __all__ = [
     "SW26010Pro",
@@ -37,11 +53,22 @@ __all__ = [
     "CommStats",
     "schedule_static",
     "schedule_lpt",
+    "chunk_round_robin",
     "makespan",
     "Task",
+    "ExecutorCounters",
+    "GroupedObservable",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "SharedStatevector",
+    "ThreadExecutor",
+    "available_executors",
+    "register_executor",
+    "resolve_executor",
     "CircuitCostModel",
     "VQEIterationModel",
     "ScalingExperiment",
     "ThreeLevelDriver",
+    "ThreeLevelEngine",
     "DistributedVQEReport",
 ]

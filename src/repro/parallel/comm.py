@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.errors import CommunicatorError, ValidationError
+from repro.common.reductions import kahan_sum
 from repro.parallel.topology import SunwayMachine
 
 
@@ -156,6 +157,11 @@ class SimCommunicator:
         self._synchronize(dt)
         self.stats.reduce_calls += 1
         self.stats.bytes_reduced += nbytes * max(0, self.size - 1)
+        if op is sum and values and all(type(v) is float for v in values):
+            # scalar energy reductions use the same deterministic
+            # compensated summation as the real executor (rank order is
+            # fixed, so the result is independent of scheduling)
+            return kahan_sum(values)
         return op(values)
 
     def allreduce(self, values: list, op=sum):

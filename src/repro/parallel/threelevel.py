@@ -9,19 +9,28 @@ Two execution modes share the same orchestration code:
 * ``simulate`` - ranks are :class:`SimCluster` clocks; compute is charged
   from a :class:`CircuitCostModel` and communication from the machine model.
   This replays arbitrarily large runs (it is how Figs. 12-13 are made).
-* ``local`` - fragments are solved for real on a thread pool, giving actual
-  multi-core speedups at laptop scale (used by the examples and tests).
+* ``local`` - fragments and Pauli-group batches are executed for real
+  through the executor layer (:mod:`repro.parallel.executor`): serial,
+  thread-pool or process-pool workers with a shared-memory statevector and
+  deterministic reduction.  :class:`ThreeLevelEngine` is the entry point;
+  it gives actual multi-core speedups at laptop scale (used by the
+  examples, benchmarks and tests).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.parallel.comm import SimCluster, CommStats
+from repro.parallel.executor import (
+    ExecutorCounters,
+    GroupedObservable,
+    resolve_executor,
+)
 from repro.parallel.perfmodel import (
     CircuitCostModel,
     VQEIterationModel,
@@ -117,22 +126,130 @@ class ThreeLevelDriver:
 
     @staticmethod
     def run_fragments_local(problems, solver, mu: float = 0.0,
-                            max_workers: int | None = None) -> list:
-        """Solve real DMET fragment problems concurrently on threads.
+                            max_workers: int | None = None,
+                            executor: str = "thread") -> list:
+        """Solve real DMET fragment problems concurrently.
 
         Level-1 parallelism executed for real: fragments are independent
-        (no communication), so a thread pool reproduces the embarrassing
-        parallelism at laptop scale; BLAS releases the GIL inside the heavy
-        tensor kernels.
+        (no communication), so any executor backend reproduces the
+        embarrassing parallelism at laptop scale - ``thread`` (the default;
+        BLAS releases the GIL inside the heavy tensor kernels) or
+        ``process`` (true multi-core; solver and problems must pickle).
 
         ``solver`` is a fragment-solver object, or a solver name ("fci",
         "vqe-<backend>") resolved through the backend registry via
         :func:`repro.dmet.solvers.make_fragment_solver`.
         """
+        engine = ThreeLevelEngine(executor=executor, max_workers=max_workers)
+        try:
+            return engine.run_fragments(problems, solver, mu)
+        finally:
+            engine.close()
+
+
+def _solve_fragment(task: tuple) -> object:
+    """Top-level (picklable) fragment-solve entry point for worker pools."""
+    solver, problem, mu = task
+    return solver.solve(problem, mu)
+
+
+class ThreeLevelEngine:
+    """Real concurrent execution of the first two parallel levels.
+
+    Where :class:`ThreeLevelDriver.simulate` replays the paper's run
+    geometry on virtual clocks, this engine actually dispatches the work:
+
+    * :meth:`run_fragments` - level 1, one task per DMET embedded problem;
+    * :meth:`expectation` - level 2, the Hamiltonian's Pauli-group batches
+      evaluated against a (shared-memory) statevector with deterministic
+      reduction (see :class:`repro.parallel.executor.GroupedObservable`).
+
+    Per-level wall-time counters accumulate in :attr:`counters`;
+    :meth:`report` snapshots them for the benchmark JSON dumps.
+
+    Parameters
+    ----------
+    executor:
+        Registered executor name ("serial" | "thread" | "process") or an
+        executor instance.
+    max_workers:
+        Pool width (defaults to the CPU affinity count).
+    n_groups:
+        Pauli-group batch count per Hamiltonian (fixed, worker-independent).
+    """
+
+    def __init__(self, *, executor: str = "serial",
+                 max_workers: int | None = None,
+                 n_groups: int | None = None):
+        self.executor = resolve_executor(executor, max_workers)
+        self.n_groups = n_groups
+        self.counters = ExecutorCounters()
+        self._grouped: dict[tuple, GroupedObservable] = {}
+
+    # -- level 1: fragments ---------------------------------------------------
+
+    def run_fragments(self, problems, solver, mu: float = 0.0) -> list:
+        """Solve independent embedded problems on the worker pool.
+
+        Results come back in problem order.  With the ``process`` executor
+        the solver is pickled to the workers, so per-solve mutable state
+        (e.g. VQE warm-start amplitudes) does not propagate back.
+        """
         if isinstance(solver, str):
             from repro.dmet.solvers import make_fragment_solver
 
             solver = make_fragment_solver(solver)
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = [pool.submit(solver.solve, p, mu) for p in problems]
-            return [f.result() for f in futures]
+        if not getattr(solver, "picklable", True) \
+                and not self.executor.in_process:
+            raise ValidationError(
+                f"solver {getattr(solver, 'name', solver)!r} is not "
+                f"picklable; use the 'serial' or 'thread' executor"
+            )
+        t0 = time.perf_counter()
+        tasks = [(solver, p, mu) for p in problems]
+        out = self.executor.map(_solve_fragment, tasks)
+        self.counters.record("fragments", time.perf_counter() - t0,
+                             len(tasks))
+        return out
+
+    # -- level 2: Pauli-group batches -----------------------------------------
+
+    def grouped(self, hamiltonian, n_qubits: int | None = None
+                ) -> GroupedObservable:
+        """Partition (or fetch the cached partition of) a Hamiltonian."""
+        from repro.simulators.pauli_kernels import observable_cache_key
+
+        n = max(hamiltonian.n_qubits(), 1) if n_qubits is None else int(n_qubits)
+        key = observable_cache_key(hamiltonian, n)
+        hit = self._grouped.get(key)
+        if hit is None:
+            hit = GroupedObservable(hamiltonian, n, n_groups=self.n_groups)
+            self._grouped[key] = hit
+        return hit
+
+    def expectation(self, hamiltonian, psi, n_qubits: int | None = None
+                    ) -> float:
+        """Re <psi| H |psi> via parallel group batches (bitwise stable)."""
+        return self.grouped(hamiltonian, n_qubits).expectation(
+            psi, self.executor, self.counters)
+
+    # -- reporting / lifecycle ------------------------------------------------
+
+    def report(self) -> dict:
+        """JSON-ready snapshot: executor config + per-level counters."""
+        return {
+            "executor": self.executor.name,
+            "workers": self.executor.workers,
+            "levels": self.counters.to_dict(),
+        }
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

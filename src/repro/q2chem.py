@@ -97,15 +97,23 @@ class Q2Chemistry:
                    max_bond_dimension: int | None = None,
                    optimizer: str = "cobyla", tolerance: float = 1e-8,
                    max_iterations: int = 4000,
-                   initial_parameters: np.ndarray | None = None) -> VQEResult:
-        """MPS-VQE (or SV-VQE) on the full active space."""
+                   initial_parameters: np.ndarray | None = None,
+                   parallel: str | None = None,
+                   n_workers: int | None = None) -> VQEResult:
+        """MPS-VQE (or SV-VQE) on the full active space.
+
+        ``parallel``/``n_workers`` route energy evaluations through the
+        level-2 parallel measurement engine (executor name + pool width);
+        results are bitwise identical across executors and worker counts.
+        """
         mo = self._mo()
         hamiltonian = molecular_qubit_hamiltonian(mo)
         ansatz = UCCSDAnsatz(mo.n_orbitals, mo.n_electrons)
-        vqe = VQE(hamiltonian, ansatz, simulator=simulator,
-                  max_bond_dimension=max_bond_dimension, optimizer=optimizer,
-                  tolerance=tolerance, max_iterations=max_iterations)
-        return vqe.run(initial_parameters)
+        with VQE(hamiltonian, ansatz, simulator=simulator,
+                 max_bond_dimension=max_bond_dimension, optimizer=optimizer,
+                 tolerance=tolerance, max_iterations=max_iterations,
+                 parallel=parallel, n_workers=n_workers) as vqe:
+            return vqe.run(initial_parameters)
 
     # -- DMET ------------------------------------------------------------------------
 
@@ -117,12 +125,16 @@ class Q2Chemistry:
                     mu_tolerance: float = 1e-5,
                     fit_chemical_potential: bool = True,
                     vqe_optimizer: str = "cobyla",
-                    vqe_tolerance: float = 1e-7) -> DMETResult:
+                    vqe_tolerance: float = 1e-7,
+                    n_workers: int = 1,
+                    executor: str = "thread") -> DMETResult:
         """DMET with FCI or (MPS-)VQE fragment solvers.
 
         ``solver``: "fci" or "vqe-<backend>" for any backend registered in
         :mod:`repro.backends` (e.g. "vqe-fast", "vqe-mps",
-        "vqe-statevector").
+        "vqe-statevector").  ``n_workers > 1`` dispatches distinct
+        fragments concurrently through the named ``executor`` ("thread" or
+        "process").
         """
         if fragments is None:
             fragments = atoms_per_fragment(self.system, atoms_per_group)
@@ -131,7 +143,8 @@ class Q2Chemistry:
             optimizer=vqe_optimizer, tolerance=vqe_tolerance)
         dmet = DMET(self.system, fragments, frag_solver,
                     all_fragments_equivalent=all_fragments_equivalent,
-                    mu_tolerance=mu_tolerance)
+                    mu_tolerance=mu_tolerance, n_workers=n_workers,
+                    executor=executor)
         return dmet.run(fit_chemical_potential=fit_chemical_potential)
 
     # -- internals ----------------------------------------------------------------------

@@ -68,13 +68,24 @@ class EnergyEvaluator:
     max_bond_dimension, cutoff:
         Cross-backend options forwarded to the backend factory (the MPS
         backend consumes them; dense backends ignore them).
+    parallel, n_workers, n_groups:
+        The level-2 parallel measurement path: ``parallel`` names a
+        registered executor ("serial" | "thread" | "process"), the
+        Hamiltonian is partitioned once into worker-count-independent
+        Pauli-group batches, and each direct evaluation dispatches the
+        prepared statevector (shared memory on the process executor) to
+        the pool with deterministic reduction - energies are bitwise
+        identical across executors and worker counts.  Requires a
+        backend advertising ``shareable_state`` and the direct method.
+        Call :meth:`close` when done to release the worker pool.
     """
 
     def __init__(self, hamiltonian: QubitOperator, ansatz: Circuit, *,
                  simulator: str = "mps", method: str = "direct",
                  max_bond_dimension: int | None = None,
                  cutoff: float = 1e-12, shots: int | None = None,
-                 seed: int | None = None):
+                 seed: int | None = None, parallel: str | None = None,
+                 n_workers: int | None = None, n_groups: int | None = None):
         if not hamiltonian.is_hermitian():
             raise ValidationError("Hamiltonian must be hermitian")
         if method not in ("direct", "hadamard"):
@@ -89,6 +100,17 @@ class EnergyEvaluator:
             raise ValidationError(
                 "shots requires method='hadamard' and shots >= 1"
             )
+        if parallel is not None:
+            if method != "direct":
+                raise ValidationError(
+                    "the parallel measurement path requires method='direct'"
+                )
+            if not spec.shareable_state:
+                raise ValidationError(
+                    f"backend {simulator!r} does not expose a shareable "
+                    f"dense state; the parallel path needs one (e.g. "
+                    f"'statevector')"
+                )
         self.hamiltonian = hamiltonian
         self.ansatz = ansatz
         self.simulator = simulator
@@ -106,11 +128,19 @@ class EnergyEvaluator:
             self._rng = default_rng(seed)
         self.n_qubits = ansatz.n_qubits
         self.evaluations = 0
+        self.parallel = parallel
+        self.n_workers = n_workers
+        self.n_groups = n_groups
         self._terms = [(t, c) for t, c in hamiltonian]
         #: the Hamiltonian compiled for batched dense measurement — built
         #: lazily on the first direct evaluation against a dense backend,
         #: then reused across every optimizer iteration
         self._compiled: CompiledObservable | None = None
+        #: parallel-path state, built lazily on first use so that serial
+        #: evaluators never pay pool start-up costs
+        self._grouped = None
+        self._executor = None
+        self._counters = None
         if method == "hadamard":
             # ancilla lives one past the logical register
             self._gadgets = {
@@ -145,8 +175,54 @@ class EnergyEvaluator:
 
     __call__ = energy
 
+    def _parallel_engine(self):
+        """Lazily build the (grouped observable, executor, counters) trio.
+
+        Imported lazily: :mod:`repro.parallel.executor` pulls in the
+        grouping layer, which imports this package.
+        """
+        if self._grouped is None:
+            from repro.parallel.executor import (
+                ExecutorCounters,
+                GroupedObservable,
+                resolve_executor,
+            )
+
+            self._grouped = GroupedObservable(self.hamiltonian,
+                                              self.n_qubits,
+                                              n_groups=self.n_groups)
+            self._executor = resolve_executor(self.parallel,
+                                              max_workers=self.n_workers)
+            self._counters = ExecutorCounters()
+        return self._grouped, self._executor, self._counters
+
+    def parallel_report(self) -> dict | None:
+        """Per-level timing counters of the parallel path (None if unused)."""
+        if self._counters is None:
+            return None
+        return self._counters.to_dict()
+
+    def close(self) -> None:
+        """Release the parallel worker pool (no-op on the serial path)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+            self._grouped = None
+
+    def __enter__(self) -> "EnergyEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _energy_direct(self, theta: np.ndarray) -> float:
         sim = self._run_ansatz(theta, self.n_qubits)
+        if (self.parallel is not None
+                and getattr(sim, "natively_dense", False)):
+            grouped, executor, counters = self._parallel_engine()
+            return grouped.expectation(sim.statevector(),
+                                       executor=executor,
+                                       counters=counters)
         if (getattr(sim, "natively_dense", False)
                 and self.n_qubits <= MAX_COMPILED_QUBITS):
             # compiled once per Hamiltonian: O(#distinct masks) gathers per

@@ -60,6 +60,10 @@ class VQE:
         bond dimension are forwarded to :class:`EnergyEvaluator`.
     optimizer:
         "cobyla" | "l-bfgs-b" | "nelder-mead" | "spsa" | "adam".
+    parallel / n_workers:
+        Forwarded to :class:`EnergyEvaluator`: executor name for the
+        level-2 parallel measurement path and its worker count.  Call
+        :meth:`close` after the run to release the worker pool.
     """
 
     def __init__(self, hamiltonian: QubitOperator,
@@ -67,7 +71,8 @@ class VQE:
                  simulator: str = "mps", method: str = "direct",
                  max_bond_dimension: int | None = None,
                  optimizer: str = "cobyla", tolerance: float = 1e-8,
-                 max_iterations: int = 2000):
+                 max_iterations: int = 2000, parallel: str | None = None,
+                 n_workers: int | None = None):
         self.uccsd = ansatz if isinstance(ansatz, UCCSDAnsatz) else None
         spec = backend_spec(simulator)
         if spec.kind == "ansatz":
@@ -76,6 +81,11 @@ class VQE:
             if self.uccsd is None:
                 raise ValidationError(
                     f"backend {simulator!r} requires a UCCSDAnsatz"
+                )
+            if parallel is not None:
+                raise ValidationError(
+                    f"backend {simulator!r} evaluates in closed form; the "
+                    f"parallel measurement path needs a circuit backend"
                 )
             self.evaluator = spec.make_evaluator(hamiltonian, self.uccsd)
             self.n_parameters = self.uccsd.n_parameters
@@ -86,7 +96,8 @@ class VQE:
                 raise ValidationError("ansatz has no variational parameters")
             self.evaluator = EnergyEvaluator(
                 hamiltonian, circuit, simulator=simulator, method=method,
-                max_bond_dimension=max_bond_dimension)
+                max_bond_dimension=max_bond_dimension, parallel=parallel,
+                n_workers=n_workers)
             self.n_parameters = circuit.n_parameters
         self.optimizer = optimizer.lower()
         self.tolerance = tolerance
@@ -128,6 +139,18 @@ class VQE:
             return minimize_adam(f, x0, max_iterations=self.max_iterations,
                                  tolerance=self.tolerance)
         raise ValidationError(f"unknown optimizer {self.optimizer!r}")
+
+    def close(self) -> None:
+        """Release evaluator resources (the parallel worker pool)."""
+        close = getattr(self.evaluator, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "VQE":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- post-processing --------------------------------------------------------
 

@@ -76,19 +76,13 @@ class TestUCCGSD:
         gsd = UCCSDAnsatz(4, 4, generalized=True)
         assert gsd.n_parameters > sd.n_parameters
 
-    def test_h4_ring_accuracy_improves(self):
+    def test_h4_ring_accuracy_improves(self, solved_molecule):
         """Stretched H4 ring: UCCGSD recovers what UCCSD misses."""
         from repro.chem import geometry
-        from repro.chem.scf import RHF
-        from repro.chem import mo as momod
-        from repro.chem.fci import FCISolver
 
-        rhf = RHF(geometry.hydrogen_ring(4, 1.2), "sto-3g")
-        res = rhf.run()
-        momod.attach_eri(res, rhf.engine.eri())
-        mo = momod.from_scf(res)
-        e_fci = FCISolver(mo).solve().energy
-        ham = molecular_qubit_hamiltonian(mo)
+        solved = solved_molecule(geometry.hydrogen_ring(4, 1.2))
+        e_fci = solved.fci.energy
+        ham = molecular_qubit_hamiltonian(solved.mo)
 
         errors = {}
         for gen in (False, True):

@@ -1,4 +1,10 @@
-"""Shared fixtures: small molecules solved once per test session."""
+"""Shared fixtures: small molecules solved once per test session.
+
+Every RHF/integral/FCI result flows through one session-scoped cache
+(:func:`solved_molecule`), so a molecule+basis pair is solved at most once
+no matter how many modules use it - test files must not call ``RHF(...)``
+directly unless the SCF procedure itself is under test.
+"""
 
 from __future__ import annotations
 
@@ -31,33 +37,60 @@ class SolvedMolecule:
         return self._fci
 
 
+#: session-wide cache: (molecule name, geometry hash, basis) -> SolvedMolecule
+_SOLVED: dict[tuple, SolvedMolecule] = {}
+
+
+def _solve_cached(molecule, basis: str = "sto-3g") -> SolvedMolecule:
+    key = (basis, molecule.charge,
+           tuple(a.symbol for a in molecule.atoms),
+           tuple(np.asarray(molecule.coordinates).reshape(-1).round(10)))
+    hit = _SOLVED.get(key)
+    if hit is None:
+        hit = SolvedMolecule(molecule, basis)
+        _SOLVED[key] = hit
+    return hit
+
+
+@pytest.fixture(scope="session")
+def solved_molecule():
+    """Factory fixture: ``solved_molecule(molecule, basis="sto-3g")``.
+
+    Returns the session-cached :class:`SolvedMolecule` for any geometry a
+    test builds ad hoc, so repeated RHF + integral + (lazy) FCI work is
+    paid once per session.
+    """
+    return _solve_cached
+
+
 @pytest.fixture(scope="session")
 def h2():
     """H2/STO-3G at the experimental bond length."""
-    return SolvedMolecule(geometry.h2(0.7414))
+    return _solve_cached(geometry.h2(0.7414))
+
 
 @pytest.fixture(scope="session")
 def h4_ring():
     """H4 ring/STO-3G (the smallest DMET workload)."""
-    return SolvedMolecule(geometry.hydrogen_ring(4, 1.0))
+    return _solve_cached(geometry.hydrogen_ring(4, 1.0))
 
 
 @pytest.fixture(scope="session")
 def h6_ring():
     """H6 ring/STO-3G (nontrivial DMET accuracy check)."""
-    return SolvedMolecule(geometry.hydrogen_ring(6, 1.0))
+    return _solve_cached(geometry.hydrogen_ring(6, 1.0))
 
 
 @pytest.fixture(scope="session")
 def lih():
     """LiH/STO-3G (12 qubits; exercises p functions)."""
-    return SolvedMolecule(geometry.lih())
+    return _solve_cached(geometry.lih())
 
 
 @pytest.fixture(scope="session")
 def water():
     """H2O/STO-3G (14 qubits; the paper's Fig. 8/9 workload)."""
-    return SolvedMolecule(geometry.water())
+    return _solve_cached(geometry.water())
 
 
 @pytest.fixture()

@@ -1,0 +1,12 @@
+"""Property-based correctness suite.
+
+Randomized invariants that must hold for *any* input, not just the
+hand-picked molecules of the unit suites: mapping isospectrality (JW vs
+BK), compiled-observable agreement with the naive per-term contraction,
+and the MPS truncation-error fidelity bound.
+
+Tests draw their randomness through :mod:`tests.properties.support`, which
+uses hypothesis when it is installed and falls back to a fixed seed sweep
+otherwise - either way every failure is reproducible from the reported
+seed.
+"""

@@ -1,0 +1,69 @@
+"""Property: fermion-to-qubit mappings are isospectral.
+
+Jordan-Wigner and Bravyi-Kitaev encode the same fermionic algebra, so any
+hermitian :class:`FermionOperator` must map to qubit operators with
+identical spectra (the paper uses both encodings interchangeably upstream
+of the simulator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.operators.bravyi_kitaev import bravyi_kitaev
+from repro.operators.fermion import FermionOperator
+from repro.operators.jordan_wigner import jordan_wigner
+
+from .support import given_seed, rng_for
+
+N_ORBITALS = 4
+
+
+def random_hermitian_fermion_op(rng: np.random.Generator,
+                                n: int = N_ORBITALS,
+                                n_terms: int = 5) -> FermionOperator:
+    """op + op^dagger over random ladder products on ``n`` spin orbitals."""
+    raw = FermionOperator.zero()
+    for _ in range(n_terms):
+        length = int(rng.integers(1, 4))
+        ops = [(int(rng.integers(0, n)), int(rng.integers(0, 2)))
+               for _ in range(length)]
+        coeff = complex(rng.standard_normal(), rng.standard_normal())
+        raw = raw + FermionOperator.from_term(ops, coeff)
+    return (raw + raw.dagger()).simplify()
+
+
+@given_seed()
+def test_jw_bk_spectra_agree(seed: int) -> None:
+    """Sorted eigenvalues of the JW and BK images coincide."""
+    rng = rng_for(seed)
+    op = random_hermitian_fermion_op(rng)
+    jw = jordan_wigner(op)
+    bk = bravyi_kitaev(op, N_ORBITALS)
+    ev_jw = np.linalg.eigvalsh(jw.matrix(N_ORBITALS))
+    ev_bk = np.linalg.eigvalsh(bk.matrix(N_ORBITALS))
+    np.testing.assert_allclose(ev_jw, ev_bk, atol=1e-9)
+
+
+@given_seed()
+def test_mappings_preserve_hermiticity(seed: int) -> None:
+    """Hermitian fermion input stays hermitian through both encodings."""
+    rng = rng_for(seed)
+    op = random_hermitian_fermion_op(rng)
+    assert jordan_wigner(op).is_hermitian()
+    assert bravyi_kitaev(op, N_ORBITALS).is_hermitian()
+
+
+@given_seed(max_examples=10)
+def test_number_operator_spectrum(seed: int) -> None:
+    """Total-number operator maps to spectrum {0..n} under both encodings."""
+    rng = rng_for(seed)
+    n = int(rng.integers(2, N_ORBITALS + 1))
+    num = FermionOperator.zero()
+    for p in range(n):
+        num = num + FermionOperator.from_term([(p, 1), (p, 0)])
+    expected = np.sort(np.array(
+        [bin(k).count("1") for k in range(2**n)], dtype=float))
+    for mapped in (jordan_wigner(num), bravyi_kitaev(num, n)):
+        ev = np.linalg.eigvalsh(mapped.matrix(n))
+        np.testing.assert_allclose(np.sort(ev), expected, atol=1e-10)

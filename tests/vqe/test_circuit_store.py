@@ -50,6 +50,30 @@ class TestMemory:
         assert fresh.memory_bytes() > before
 
 
+class TestEdgeCases:
+    def test_empty_term_list(self, stores):
+        """A constant-only Hamiltonian needs zero measurement circuits."""
+        replicated, shared, _ = stores
+        rep = ReplicatedCircuitStore(shared.ansatz, [])
+        shr = SharedAnsatzCircuitStore(shared.ansatz, [])
+        assert rep.n_circuits() == shr.n_circuits() == 0
+        assert rep.bind(np.array([0.1, 0.2])) == []
+        assert shr.bind(np.array([0.1, 0.2])).is_bound()
+
+    def test_single_term(self, stores):
+        _, shared, terms = stores
+        rep = ReplicatedCircuitStore(shared.ansatz, terms[:1])
+        assert rep.n_circuits() == 1
+        assert rep.memory_bytes() > 0
+
+    def test_memory_scales_with_terms(self, stores):
+        """Replicated storage grows linearly; shared stays near-constant."""
+        _, shared, terms = stores
+        rep_small = ReplicatedCircuitStore(shared.ansatz, terms[:2])
+        rep_large = ReplicatedCircuitStore(shared.ansatz, terms)
+        assert rep_large.memory_bytes() > rep_small.memory_bytes()
+
+
 class TestBinding:
     def test_replicated_bind_returns_all(self, stores):
         replicated, _, terms = stores

@@ -90,3 +90,53 @@ class TestEvaluatorPaths:
         with pytest.raises(ValidationError):
             EnergyEvaluator(self.ham, self.ansatz.circuit(),
                             simulator="quantum")
+
+
+class TestParallelPath:
+    """The level-2 parallel measurement path of the direct evaluator."""
+
+    @pytest.fixture(autouse=True)
+    def _setup(self, h2):
+        self.ham = molecular_qubit_hamiltonian(h2.mo)
+        self.ansatz = UCCSDAnsatz(2, 2)
+        self.theta = np.array([0.17, -0.36])
+
+    def _evaluator(self, **kw):
+        return EnergyEvaluator(self.ham, self.ansatz.circuit(),
+                               simulator="statevector", **kw)
+
+    def test_bitwise_identical_across_workers(self):
+        energies = set()
+        for executor, workers in [("serial", 1), ("thread", 2),
+                                  ("process", 2), ("process", 4)]:
+            with self._evaluator(parallel=executor, n_workers=workers) as ev:
+                energies.add(ev.energy(self.theta))
+        assert len(energies) == 1
+
+    def test_agrees_with_serial_compiled_path(self):
+        serial = self._evaluator()
+        with self._evaluator(parallel="thread", n_workers=2) as parallel:
+            assert parallel.energy(self.theta) == pytest.approx(
+                serial.energy(self.theta), abs=1e-10)
+
+    def test_parallel_report(self):
+        with self._evaluator(parallel="serial") as ev:
+            assert ev.parallel_report() is None  # engine not built yet
+            ev.energy(self.theta)
+            report = ev.parallel_report()
+        assert report["pauli_groups"]["calls"] == 1
+
+    def test_requires_direct_method(self):
+        with pytest.raises(ValidationError, match="direct"):
+            self._evaluator(method="hadamard", parallel="thread")
+
+    def test_requires_shareable_backend(self):
+        with pytest.raises(ValidationError, match="shareable"):
+            EnergyEvaluator(self.ham, self.ansatz.circuit(),
+                            simulator="mps", parallel="thread")
+
+    def test_close_idempotent(self):
+        ev = self._evaluator(parallel="thread", n_workers=2)
+        ev.energy(self.theta)
+        ev.close()
+        ev.close()
