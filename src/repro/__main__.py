@@ -71,6 +71,7 @@ def cmd_energy(args) -> int:
         parallel = args.executor if args.workers > 1 else None
         res = job.vqe_energy(simulator=args.simulator,
                              max_bond_dimension=args.bond_dimension,
+                             measurement=args.measurement,
                              parallel=parallel, n_workers=args.workers)
         print(f"E(VQE)  = {res.energy:+.8f} Ha "
               f"({res.n_evaluations} evaluations, {res.optimizer})")
@@ -177,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=available_backends(), metavar="BACKEND",
                     help=f"registered backend: {backend_names} (vqe only)")
     pe.add_argument("--bond-dimension", type=int, default=None)
+    pe.add_argument("--measurement", default=None,
+                    choices=["auto", "sweep", "mpo", "per_term"],
+                    help="MPS observable-evaluation path: shared-"
+                         "environment sweep, compressed-MPO contraction, "
+                         "per-term oracle, or cost-model auto (backends "
+                         "without the knob reject this flag)")
     pe.add_argument("--workers", type=int, default=1,
                     help="worker count for the parallel execution engine: "
                          "DMET fragments (level 1) and VQE Pauli-group "

@@ -89,6 +89,12 @@ class BackendSpec:
     whether instances can be shipped to process-pool workers, and whether
     the backend exposes a dense statevector that can be exported through
     ``multiprocessing.shared_memory`` for worker-side batched measurement.
+
+    ``measurement_modes`` / ``default_measurement`` advertise the
+    observable-evaluation strategies the backend accepts through a
+    ``measurement=...`` factory option (currently the MPS backend:
+    "auto" | "sweep" | "mpo" | "per_term"); empty means the backend has a
+    single built-in measurement path.
     """
 
     name: str
@@ -102,6 +108,10 @@ class BackendSpec:
     #: exposes a dense statevector shareable via shared memory (the
     #: process-parallel measurement path requires this)
     shareable_state: bool = False
+    #: observable-evaluation strategies selectable via measurement=...
+    measurement_modes: tuple[str, ...] = field(default=())
+    #: the mode used when the caller does not pick one (None: no knob)
+    default_measurement: str | None = None
 
     def create(self, n_qubits: int, **opts) -> Any:
         """Instantiate the backend for ``n_qubits`` (circuit kind only)."""
@@ -121,6 +131,8 @@ def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
                      make_evaluator: Callable[..., Any] | None = None,
                      description: str = "", options: tuple[str, ...] = (),
                      picklable: bool = True, shareable_state: bool = False,
+                     measurement_modes: tuple[str, ...] = (),
+                     default_measurement: str | None = None,
                      overwrite: bool = False) -> BackendSpec:
     """Register a backend under ``name`` (third parties welcome).
 
@@ -138,6 +150,9 @@ def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
         Documentation surfaced by the CLI (`--simulator` help) and docs.
     picklable, shareable_state:
         Parallel-engine capabilities (see :class:`BackendSpec`).
+    measurement_modes, default_measurement:
+        Observable-evaluation strategies selectable via a ``measurement=``
+        factory option (see :class:`BackendSpec`).
     overwrite:
         Allow replacing an existing registration.
     """
@@ -150,10 +165,18 @@ def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
         raise ValidationError("ansatz backends need make_evaluator")
     if key in _REGISTRY and not overwrite:
         raise ValidationError(f"backend {name!r} is already registered")
+    modes = tuple(measurement_modes)
+    if default_measurement is not None and default_measurement not in modes:
+        raise ValidationError(
+            f"default measurement {default_measurement!r} is not among the "
+            f"declared modes {modes}"
+        )
     spec = BackendSpec(name=key, kind=kind, factory=factory,
                        make_evaluator=make_evaluator,
                        description=description, options=tuple(options),
-                       picklable=picklable, shareable_state=shareable_state)
+                       picklable=picklable, shareable_state=shareable_state,
+                       measurement_modes=modes,
+                       default_measurement=default_measurement)
     _REGISTRY[key] = spec
     return spec
 
@@ -209,13 +232,14 @@ def _make_statevector(n_qubits: int, *, max_qubits: int = 26,
 
 def _make_mps(n_qubits: int, *, max_bond_dimension: int | None = None,
               cutoff: float = 1e-12, mode: str = "optimized",
+              measurement: str = "auto",
               max_truncation_error: float | None = None,
               **_cross_backend_opts) -> Backend:
-    """MPS backend (the paper's simulator; transfer-matrix measurements)."""
+    """MPS backend (the paper's simulator; batched-measurement engine)."""
     from repro.simulators.mps_circuit import MPSSimulator
 
     return MPSSimulator(n_qubits, max_bond_dimension=max_bond_dimension,
-                        cutoff=cutoff, mode=mode,
+                        cutoff=cutoff, mode=mode, measurement=measurement,
                         max_truncation_error=max_truncation_error)
 
 
@@ -250,8 +274,15 @@ register_backend(
 register_backend(
     "mps", _make_mps,
     description="matrix-product-state simulator (the paper's algorithm); "
-                "bounded bond dimension, transfer-matrix measurement",
-    options=("max_bond_dimension", "cutoff", "mode", "max_truncation_error"),
+                "bounded bond dimension, batched shared-environment / MPO "
+                "measurement",
+    options=("max_bond_dimension", "cutoff", "mode", "measurement",
+             "max_truncation_error"),
+    # kept in sync with repro.simulators.mps_measure.MEASUREMENT_MODES
+    # (listed literally so importing the registry stays lightweight);
+    # the backend parity tests assert the two tuples match
+    measurement_modes=("auto", "sweep", "mpo", "per_term"),
+    default_measurement="auto",
 )
 register_backend(
     "density_matrix", _make_density_matrix,

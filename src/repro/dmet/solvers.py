@@ -112,6 +112,7 @@ class VQEFragmentSolver:
 
     def __init__(self, *, simulator: str = "fast",
                  max_bond_dimension: int | None = None,
+                 measurement: str | None = None,
                  optimizer: str = "cobyla", tolerance: float = 1e-8,
                  max_iterations: int = 4000,
                  initial_parameters: str = "zeros",
@@ -119,6 +120,7 @@ class VQEFragmentSolver:
         backend_spec(simulator)  # fail fast on unknown backend names
         self.simulator = simulator
         self.max_bond_dimension = max_bond_dimension
+        self.measurement = measurement
         self.optimizer = optimizer
         self.tolerance = tolerance
         self.max_iterations = max_iterations
@@ -151,6 +153,7 @@ class VQEFragmentSolver:
         ansatz = UCCSDAnsatz(mo.n_orbitals, n_elec)
         vqe = VQE(hamiltonian, ansatz, simulator=self.simulator,
                   max_bond_dimension=self.max_bond_dimension,
+                  measurement=self.measurement,
                   optimizer=self.optimizer, tolerance=self.tolerance,
                   max_iterations=self.max_iterations)
         if (self.warm_start and self._last_parameters is not None

@@ -429,6 +429,8 @@ class GroupedObservable:
         # compiled groups across GroupedObservable rebuilds of the same H
         self._keys = [(n, hash(p)) for p in self.payloads]
         self._parent_compiled: list | None = None
+        self._group_ops: list[QubitOperator] | None = None
+        self._mps_engine = None
 
     @property
     def n_groups(self) -> int:
@@ -490,6 +492,70 @@ class GroupedObservable:
             lambda idxs: [(i, compiled[i].expectation(psi)) for i in idxs],
             chunks)
         return _ordered_partials(results, len(compiled))
+
+    def expectation_mps(self, mps, executor=None,
+                        counters: ExecutorCounters | None = None) -> float:
+        """Re <psi| H |psi> for a tensor-train state, batched by group.
+
+        The level-2 dispatch for the MPS backend: each group is evaluated
+        through the shared-environment sweep engine
+        (:class:`repro.simulators.mps_measure.MPSMeasurementEngine`), whose
+        per-state site-operator / closing-matrix caches are shared across
+        all groups - environments are the MPS analogue of the dense path's
+        flip-mask batches.  Group order and compensated summation match
+        :meth:`expectation`, so the reduction is deterministic for any
+        in-process worker count.  Tensor-train states have no shared-memory
+        export, so the ``process`` executor is rejected.
+        """
+        if mps.n_qubits != self.n_qubits:
+            raise ValidationError(
+                f"state register {mps.n_qubits} != operator register "
+                f"{self.n_qubits}"
+            )
+        t0 = time.perf_counter()
+        owned = isinstance(executor, str)  # resolved here -> closed here
+        if executor is not None:
+            executor = resolve_executor(executor)
+        try:
+            if executor is not None and not executor.in_process:
+                raise ValidationError(
+                    "the MPS group path needs an in-process executor "
+                    "('serial' | 'thread'); a tensor-train state cannot be "
+                    "exported through shared memory"
+                )
+            if self._mps_engine is None:
+                from repro.simulators.mps_measure import MPSMeasurementEngine
+
+                self._mps_engine = MPSMeasurementEngine()
+            engine = self._mps_engine
+            ops = self._group_operators()
+            if executor is None or executor.workers == 1:
+                partials = [engine.expectation_sweep(mps, op) for op in ops]
+            else:
+                chunks = chunk_round_robin(len(ops), executor.workers)
+                results = executor.map(
+                    lambda idxs: [(i, engine.expectation_sweep(mps, ops[i]))
+                                  for i in idxs],
+                    chunks)
+                partials = _ordered_partials(results, len(ops))
+        finally:
+            if owned:
+                executor.close()
+        # fixed group order + compensated summation = bitwise reproducible;
+        # canonical-form MPS states are normalized, so the constant needs
+        # no <psi|psi> weighting
+        total = kahan_sum(partials) + self.constant
+        if counters is not None:
+            counters.record("pauli_groups", time.perf_counter() - t0,
+                            self.n_groups)
+        return total
+
+    def _group_operators(self) -> list[QubitOperator]:
+        """Group payloads rebuilt as operators (cached, fixed order)."""
+        if self._group_ops is None:
+            self._group_ops = [_operator_from_payload(p)
+                               for p in self.payloads]
+        return self._group_ops
 
     def _expectation_shared(self, psi: np.ndarray, executor) -> list[float]:
         chunks = chunk_round_robin(len(self.payloads), executor.workers)

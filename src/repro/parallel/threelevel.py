@@ -229,9 +229,21 @@ class ThreeLevelEngine:
 
     def expectation(self, hamiltonian, psi, n_qubits: int | None = None
                     ) -> float:
-        """Re <psi| H |psi> via parallel group batches (bitwise stable)."""
-        return self.grouped(hamiltonian, n_qubits).expectation(
-            psi, self.executor, self.counters)
+        """Re <psi| H |psi> via parallel group batches (bitwise stable).
+
+        ``psi`` may be a dense amplitude vector, an MPS state, or an MPS
+        simulator; tensor-train states route through the shared-environment
+        sweep batches of :meth:`GroupedObservable.expectation_mps` (the
+        dense path batches by compiled flip masks instead).
+        """
+        from repro.simulators.mps import MPS
+
+        grouped = self.grouped(hamiltonian, n_qubits)
+        state = getattr(psi, "state", psi)  # unwrap an MPSSimulator
+        if isinstance(state, MPS):
+            return grouped.expectation_mps(state, self.executor,
+                                           self.counters)
+        return grouped.expectation(psi, self.executor, self.counters)
 
     # -- reporting / lifecycle ------------------------------------------------
 

@@ -95,6 +95,7 @@ class Q2Chemistry:
 
     def vqe_energy(self, *, simulator: str = "mps",
                    max_bond_dimension: int | None = None,
+                   measurement: str | None = None,
                    optimizer: str = "cobyla", tolerance: float = 1e-8,
                    max_iterations: int = 4000,
                    initial_parameters: np.ndarray | None = None,
@@ -102,15 +103,18 @@ class Q2Chemistry:
                    n_workers: int | None = None) -> VQEResult:
         """MPS-VQE (or SV-VQE) on the full active space.
 
-        ``parallel``/``n_workers`` route energy evaluations through the
-        level-2 parallel measurement engine (executor name + pool width);
-        results are bitwise identical across executors and worker counts.
+        ``measurement`` picks the MPS observable-evaluation path ("auto" |
+        "sweep" | "mpo" | "per_term"); ``parallel``/``n_workers`` route
+        energy evaluations through the level-2 parallel measurement engine
+        (executor name + pool width); results are bitwise identical across
+        executors and worker counts.
         """
         mo = self._mo()
         hamiltonian = molecular_qubit_hamiltonian(mo)
         ansatz = UCCSDAnsatz(mo.n_orbitals, mo.n_electrons)
         with VQE(hamiltonian, ansatz, simulator=simulator,
-                 max_bond_dimension=max_bond_dimension, optimizer=optimizer,
+                 max_bond_dimension=max_bond_dimension,
+                 measurement=measurement, optimizer=optimizer,
                  tolerance=tolerance, max_iterations=max_iterations,
                  parallel=parallel, n_workers=n_workers) as vqe:
             return vqe.run(initial_parameters)

@@ -45,18 +45,24 @@ class MPO:
     @classmethod
     def from_qubit_operator(cls, op: QubitOperator, n_qubits: int,
                             compress_cutoff: float = 1e-12) -> "MPO":
-        """Exact sum-of-strings MPO (bond dim = #terms), then compression.
+        """Sum-of-strings MPO, compressed incrementally while it is built.
 
-        Term t occupies the diagonal bond channel t: the first site carries
-        the coefficient, interior sites route each channel through its
-        Pauli factor, and the last site closes every channel.
+        Each bond channel indexes a *distinct Pauli suffix* (the remaining
+        string on the sites to the right), so terms sharing a tail merge
+        immediately; the first site carries the coefficients and interior
+        sites route every suffix class through its leading Pauli factor.
+        After each site the left part is SVD-compressed, and because the
+        carried matrix is exactly the prefix-basis x suffix-class
+        coefficient matrix, its rank is the *minimal* MPO bond dimension
+        at that cut - the build therefore truncates to the final bond
+        dimensions on the fly instead of dragging O(#terms)-wide bonds
+        through the chain.
         """
         terms = list(op.simplify(0.0).terms.items())
         if not terms:
             raise ValidationError("cannot build an MPO from the zero operator")
         if n_qubits < 1:
             raise ValidationError("n_qubits must be positive")
-        m = len(terms)
         labels = [term.label(n_qubits) for term, _ in terms]
         if n_qubits == 1:
             w = np.zeros((1, 2, 2, 1), dtype=complex)
@@ -64,18 +70,40 @@ class MPO:
                 w[0, :, :, 0] += coeff * _PAULI_MATS[lab[0]]
             return cls([w])
         tensors: list[np.ndarray] = []
-        w0 = np.zeros((1, 2, 2, m), dtype=complex)
-        for t, (term, coeff) in enumerate(terms):
-            w0[0, :, :, t] = coeff * _PAULI_MATS[labels[t][0]]
-        tensors.append(w0)
-        for k in range(1, n_qubits - 1):
-            w = np.zeros((m, 2, 2, m), dtype=complex)
-            for t in range(m):
-                w[t, :, :, t] = _PAULI_MATS[labels[t][k]]
-            tensors.append(w)
-        wl = np.zeros((m, 2, 2, 1), dtype=complex)
-        for t in range(m):
-            wl[t, :, :, 0] = _PAULI_MATS[labels[t][n_qubits - 1]]
+        # suffixes[c]: the Pauli string on sites k.. carried by channel c;
+        # carry[r, c]: weight of channel c in compressed left-bond state r.
+        suffixes: list[str] = labels
+        carry = np.array([[coeff for _, coeff in terms]], dtype=complex)
+        for k in range(n_qubits - 1):
+            r = carry.shape[0]
+            rest_index: dict[str, int] = {}
+            col_char: list[str] = []
+            col_new: list[int] = []
+            for s in suffixes:
+                rest = s[1:]
+                col_char.append(s[0])
+                col_new.append(rest_index.setdefault(rest, len(rest_index)))
+            m_new = len(rest_index)
+            w = np.zeros((r, 2, 2, m_new), dtype=complex)
+            for ch, mat in _PAULI_MATS.items():
+                old = [c for c, cc in enumerate(col_char) if cc == ch]
+                if old:
+                    # (ch, rest) determines the old channel, so within one
+                    # character group the old->new map is injective.
+                    new = [col_new[c] for c in old]
+                    w[:, :, :, new] += (mat[None, :, :, None]
+                                        * carry[:, None, None, old])
+            u, s, vh, _ = svd_truncated(w.reshape(r * 4, m_new),
+                                        cutoff=compress_cutoff)
+            tensors.append(u.reshape(r, 2, 2, s.size))
+            carry = s[:, None] * vh
+            suffixes = sorted(rest_index, key=rest_index.get)
+        wl = np.zeros((carry.shape[0], 2, 2, 1), dtype=complex)
+        for ch, mat in _PAULI_MATS.items():
+            cols = [c for c, s in enumerate(suffixes) if s == ch]
+            if cols:
+                wl[:, :, :, 0] += carry[:, cols].sum(axis=1)[:, None, None] \
+                    * mat[None, :, :]
         tensors.append(wl)
         mpo = cls(tensors)
         mpo._compress(compress_cutoff)

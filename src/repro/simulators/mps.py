@@ -24,6 +24,7 @@ Bond convention: ``lambdas[b]`` lives on the bond *left of* site ``b``
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -101,6 +102,10 @@ class MPS:
         self.update_scheme = update_scheme
         self.backend = backend or get_backend()
         self.stats = TruncationStats()
+        #: monotone state-revision counter, bumped by every mutating
+        #: operation; measurement-side environment caches key on it so a
+        #: stale environment can never be read against an evolved state
+        self.revision = 0
         # |0...0> product state
         self.tensors: list[np.ndarray] = []
         for _ in range(n_qubits):
@@ -123,6 +128,7 @@ class MPS:
             t = np.zeros((1, 2, 1), dtype=complex)
             t[0, int(b), 0] = 1.0
             mps.tensors[q] = t
+        mps.revision += 1
         return mps
 
     @classmethod
@@ -186,6 +192,7 @@ class MPS:
         self.tensors[0] = self.tensors[0] / nrm
         self.lambdas[0] = np.ones(1)
         self.lambdas[n] = np.ones(1)
+        self.revision += 1
 
     # -- properties --------------------------------------------------------------
 
@@ -232,38 +239,33 @@ class MPS:
         self.tensors[q] = tensordot_fused(
             mat.astype(complex), self.tensors[q], axes=((1,), (1,)),
             backend=self.backend).transpose(1, 0, 2)
+        self.revision += 1
 
     def apply_two_qubit(self, mat: np.ndarray, q1: int, q2: int) -> None:
         """Apply a 4x4 unitary on (q1, q2); routes non-adjacent pairs.
 
         The matrix is in the |q1 q2> basis (first qubit = MSB).  Non-adjacent
         pairs are handled by swapping q1 next to q2 and back, as the paper's
-        simulator does for the Hadamard-test ancilla couplings.
+        simulator does for the Hadamard-test ancilla couplings.  The swap
+        schedule is a precomputed :func:`routing_plan`, memoized per
+        (q1, q2) pair so repeated long-range gates - e.g. every
+        Hadamard-test ancilla coupling of an optimizer iteration - reuse
+        the same flat plan instead of re-deriving the chain recursively.
         """
         if q1 == q2:
             raise ValidationError("two-qubit gate needs distinct qubits")
         for q in (q1, q2):
             if q < 0 or q >= self.n_qubits:
                 raise ValidationError(f"qubit {q} out of range")
-        if abs(q1 - q2) == 1:
-            if q2 == q1 + 1:
-                self._apply_adjacent(np.asarray(mat, complex), q1)
-            else:
-                # gate given as (high, low): permute into site order
-                self._apply_adjacent(_permute4(np.asarray(mat, complex)), q2)
-            return
-        # route: move q1 next to q2 with swaps
-        step = 1 if q2 > q1 else -1
-        pos = q1
-        while abs(pos - q2) > 1:
-            lo = min(pos, pos + step)
+        plan = routing_plan(q1, q2)
+        gate = np.asarray(mat, complex)
+        if plan.permute:
+            gate = _permute4(gate)
+        for lo in plan.swaps_in:
             self._apply_adjacent(_SWAP, lo)
-            pos += step
-        self.apply_two_qubit(mat, pos, q2)
-        while pos != q1:
-            lo = min(pos, pos - step)
+        self._apply_adjacent(gate, plan.gate_site)
+        for lo in plan.swaps_out:
             self._apply_adjacent(_SWAP, lo)
-            pos -= step
 
     def _apply_adjacent(self, mat: np.ndarray, q: int) -> None:
         """Gate on sites (q, q+1) via Eqs. 7-10 of the paper."""
@@ -320,6 +322,7 @@ class MPS:
                 raise ValidationError("state collapsed during truncation")
             new_b1 = new_b1 / np.sqrt(local)
         self.tensors[q] = new_b1
+        self.revision += 1
 
     # -- measurement -----------------------------------------------------------------
 
@@ -389,45 +392,45 @@ class MPS:
 
         Exploits the right-canonical form: sweeping left to right, the
         conditional distribution of qubit k given the already-sampled
-        prefix comes from one small contraction per site - O(n D^2) per
-        sample, never materializing the 2^n distribution.  (This is the
+        prefix comes from one small contraction per site, never
+        materializing the 2^n distribution.  All samples advance together:
+        their left-bond environment vectors are stacked into one
+        (n_samples, D) matrix, so each site costs two GEMMs for the whole
+        batch instead of a Python-level loop per sample.  (This is the
         measurement primitive a sampling-based benchmark like the paper's
         RQC references would use.)
         """
         if n_samples < 1:
             raise ValidationError("need at least one sample")
         rng = default_rng(seed)
-        out = []
-        for _ in range(n_samples):
-            bits = []
-            # env: amplitude vector over the current left bond
-            env = np.ones((1,), dtype=complex)
-            for k in range(self.n_qubits):
-                b = self.tensors[k]
-                # unnormalized amplitudes of extending the prefix by 0/1
-                vec0 = env @ b[:, 0, :]
-                vec1 = env @ b[:, 1, :]
-                # right-canonicality: P(prefix+i) = |vec_i|^2
-                p0 = float(np.real(np.vdot(vec0, vec0)))
-                p1 = float(np.real(np.vdot(vec1, vec1)))
-                total = p0 + p1
-                if total <= 0.0:
-                    raise ValidationError("zero-norm branch while sampling")
-                if rng.random() < p0 / total:
-                    bits.append("0")
-                    env = vec0 / np.sqrt(p0) if p0 > 0 else vec0
-                else:
-                    bits.append("1")
-                    env = vec1 / np.sqrt(p1) if p1 > 0 else vec1
-            out.append("".join(bits))
-        return out
+        # env: one amplitude row per in-flight sample over the left bond
+        env = np.ones((n_samples, 1), dtype=complex)
+        bits = np.empty((n_samples, self.n_qubits), dtype=np.uint8)
+        for k in range(self.n_qubits):
+            b = self.tensors[k]
+            # unnormalized amplitudes of extending every prefix by 0/1
+            vec0 = env @ b[:, 0, :]
+            vec1 = env @ b[:, 1, :]
+            # right-canonicality: P(prefix+i) = |vec_i|^2
+            p0 = np.einsum("sr,sr->s", vec0, vec0.conj()).real
+            p1 = np.einsum("sr,sr->s", vec1, vec1.conj()).real
+            total = p0 + p1
+            if np.any(total <= 0.0):
+                raise ValidationError("zero-norm branch while sampling")
+            take1 = rng.random(n_samples) >= p0 / total
+            bits[:, k] = take1
+            env = np.where(take1[:, None], vec1, vec0)
+            norm = np.sqrt(np.where(take1, p1, p0))
+            env = env / np.where(norm > 0.0, norm, 1.0)[:, None]
+        return ["".join("1" if v else "0" for v in row) for row in bits]
 
     def copy(self) -> "MPS":
         other = MPS(self.n_qubits,
                     max_bond_dimension=self.max_bond_dimension,
                     cutoff=self.cutoff,
                     max_truncation_error=self.max_truncation_error,
-                    backend=self.backend)
+                    backend=self.backend,
+                    update_scheme=self.update_scheme)
         other.tensors = [t.copy() for t in self.tensors]
         other.lambdas = [l.copy() for l in self.lambdas]
         other.stats = TruncationStats(
@@ -443,3 +446,46 @@ def _permute4(mat: np.ndarray) -> np.ndarray:
     """Reverse qubit order of a 4x4 matrix: |ab> -> |ba> relabelling."""
     perm = [0, 2, 1, 3]
     return mat[np.ix_(perm, perm)]
+
+
+@dataclass(frozen=True)
+class RoutingPlan:
+    """Precomputed adjacent-gate schedule for one (q1, q2) gate pair.
+
+    ``swaps_in`` moves q1's content next to q2, the (possibly permuted)
+    gate is applied on the adjacent pair at ``gate_site``, and
+    ``swaps_out`` restores the original qubit order.  Plans depend only on
+    the pair, never on the state, so they are memoized process-wide and
+    shared across gates, circuits and optimizer iterations.
+    """
+
+    swaps_in: tuple[int, ...]
+    gate_site: int
+    permute: bool
+    swaps_out: tuple[int, ...]
+
+    @property
+    def n_swaps(self) -> int:
+        """Total adjacent SWAP applications the plan costs."""
+        return len(self.swaps_in) + len(self.swaps_out)
+
+
+@lru_cache(maxsize=4096)
+def routing_plan(q1: int, q2: int) -> RoutingPlan:
+    """The memoized swap schedule routing a (q1, q2) gate onto the chain.
+
+    Matches the recursive route the simulator historically produced: q1's
+    content walks site by site until adjacent to q2, the gate acts there
+    (permuted when the pair arrives in (high, low) order), and the walk is
+    retraced.  The plan is a pure function of the pair, so the lru_cache
+    makes every later gate on the same pair a dictionary hit.
+    """
+    if q1 == q2:
+        raise ValidationError("two-qubit gate needs distinct qubits")
+    if q1 < q2:
+        swaps_in = tuple(range(q1, q2 - 1))
+        return RoutingPlan(swaps_in=swaps_in, gate_site=q2 - 1,
+                           permute=False, swaps_out=swaps_in[::-1])
+    swaps_in = tuple(range(q1 - 1, q2, -1))
+    return RoutingPlan(swaps_in=swaps_in, gate_site=q2,
+                       permute=True, swaps_out=swaps_in[::-1])

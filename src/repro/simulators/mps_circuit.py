@@ -23,6 +23,7 @@ from repro.circuits.circuit import Circuit
 from repro.circuits.fusion import fuse_single_qubit_gates
 from repro.operators.pauli import PauliTerm, QubitOperator
 from repro.simulators.mps import MPS
+from repro.simulators.mps_measure import MEASUREMENT_MODES, MPSMeasurementEngine
 
 
 class MPSSimulator:
@@ -36,6 +37,10 @@ class MPSSimulator:
         Truncation threshold D (None = exact).
     mode:
         "optimized" (gate fusion on) or "naive" (reference pipeline).
+    measurement:
+        Observable-evaluation strategy: "auto" (cost-model pick between the
+        shared-environment sweep and the compressed-MPO contraction),
+        "sweep", "mpo", or "per_term" (the independent-contraction oracle).
     cutoff, max_truncation_error:
         Forwarded to :class:`repro.simulators.mps.MPS`.
     """
@@ -45,12 +50,20 @@ class MPSSimulator:
     natively_dense = False
 
     def __init__(self, n_qubits: int, *, max_bond_dimension: int | None = None,
-                 mode: str = "optimized", cutoff: float = 1e-12,
+                 mode: str = "optimized", measurement: str = "auto",
+                 cutoff: float = 1e-12,
                  max_truncation_error: float | None = None):
         if mode not in ("optimized", "naive"):
             raise ValidationError(f"unknown MPS simulator mode {mode!r}")
+        if measurement not in MEASUREMENT_MODES:
+            raise ValidationError(
+                f"unknown measurement mode {measurement!r}; "
+                f"expected one of {MEASUREMENT_MODES}"
+            )
         self.n_qubits = n_qubits
         self.mode = mode
+        self.measurement = measurement
+        self._engine = MPSMeasurementEngine()
         self._mps_kwargs = dict(
             max_bond_dimension=max_bond_dimension,
             cutoff=cutoff,
@@ -74,8 +87,14 @@ class MPSSimulator:
         self.state = mps
 
     def copy(self) -> "MPSSimulator":
-        """Independent snapshot (same truncation controls and mode)."""
-        clone = MPSSimulator(self.n_qubits, mode=self.mode)
+        """Independent snapshot (same truncation controls and mode).
+
+        The clone gets a fresh measurement engine: environment caches are
+        keyed on state identity + revision, so sharing one across snapshots
+        would only ever miss.
+        """
+        clone = MPSSimulator(self.n_qubits, mode=self.mode,
+                             measurement=self.measurement)
         clone._mps_kwargs = dict(self._mps_kwargs)
         clone.state = self.state.copy()
         return clone
@@ -103,19 +122,16 @@ class MPSSimulator:
         return self.state.expectation_pauli(term)
 
     def expectation(self, op: QubitOperator) -> float:
-        """Batched <H>: every term through the transfer-matrix path.
+        """Batched <H> through the measurement engine.
 
-        <P> is real for every Pauli string; complex coefficients (e.g. in
-        non-hermitian excitation operators measured for RDMs) are combined
-        before the final real part is taken.
+        The route is picked by the simulator's ``measurement`` mode: shared
+        environment sweep, compressed-MPO contraction, cost-model "auto", or
+        the per-term oracle.  <P> is real for every Pauli string; complex
+        coefficients (e.g. in non-hermitian excitation operators measured
+        for RDMs) are combined before the final real part is taken.
         """
-        total = 0.0 + 0.0j
-        for term, coeff in op:
-            if term.is_identity():
-                total += coeff
-            else:
-                total += coeff * self.state.expectation_pauli(term)
-        return float(np.real(total))
+        return self._engine.expectation(self.state, op, self.n_qubits,
+                                        mode=self.measurement)
 
     def statevector(self) -> np.ndarray:
         """Dense expansion (small registers; for cross-simulator tests)."""

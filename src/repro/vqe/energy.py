@@ -68,6 +68,11 @@ class EnergyEvaluator:
     max_bond_dimension, cutoff:
         Cross-backend options forwarded to the backend factory (the MPS
         backend consumes them; dense backends ignore them).
+    measurement:
+        Observable-evaluation strategy for backends that advertise
+        ``measurement_modes`` (the MPS backend: "auto" | "sweep" | "mpo" |
+        "per_term").  None keeps the backend's registered default; naming
+        a mode on a backend without the knob is a validation error.
     parallel, n_workers, n_groups:
         The level-2 parallel measurement path: ``parallel`` names a
         registered executor ("serial" | "thread" | "process"), the
@@ -83,7 +88,8 @@ class EnergyEvaluator:
     def __init__(self, hamiltonian: QubitOperator, ansatz: Circuit, *,
                  simulator: str = "mps", method: str = "direct",
                  max_bond_dimension: int | None = None,
-                 cutoff: float = 1e-12, shots: int | None = None,
+                 cutoff: float = 1e-12, measurement: str | None = None,
+                 shots: int | None = None,
                  seed: int | None = None, parallel: str | None = None,
                  n_workers: int | None = None, n_groups: int | None = None):
         if not hamiltonian.is_hermitian():
@@ -100,6 +106,18 @@ class EnergyEvaluator:
             raise ValidationError(
                 "shots requires method='hadamard' and shots >= 1"
             )
+        if measurement is not None:
+            if not spec.measurement_modes:
+                raise ValidationError(
+                    f"backend {simulator!r} has no measurement modes; "
+                    f"only backends advertising measurement_modes (e.g. "
+                    f"'mps') accept measurement="
+                )
+            if measurement not in spec.measurement_modes:
+                raise ValidationError(
+                    f"unknown measurement mode {measurement!r} for backend "
+                    f"{simulator!r}; expected one of {spec.measurement_modes}"
+                )
         if parallel is not None:
             if method != "direct":
                 raise ValidationError(
@@ -117,6 +135,7 @@ class EnergyEvaluator:
         self.method = method
         self.max_bond_dimension = max_bond_dimension
         self.cutoff = cutoff
+        self.measurement = measurement
         #: finite measurement budget per Pauli string: the exact ancilla
         #: <Z> is replaced by a binomial estimate, modelling what a real
         #: quantum computer returns (the noiseless-expectation default is
@@ -151,9 +170,11 @@ class EnergyEvaluator:
     # -- simulators -----------------------------------------------------------
 
     def _fresh_sim(self, width: int):
-        return resolve_backend(self.simulator, width,
-                               max_bond_dimension=self.max_bond_dimension,
-                               cutoff=self.cutoff)
+        opts = dict(max_bond_dimension=self.max_bond_dimension,
+                    cutoff=self.cutoff)
+        if self.measurement is not None:
+            opts["measurement"] = self.measurement
+        return resolve_backend(self.simulator, width, **opts)
 
     def _run_ansatz(self, theta: np.ndarray, width: int):
         bound = self.ansatz.bind(theta)

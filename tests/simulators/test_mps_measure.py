@@ -1,0 +1,331 @@
+"""Parity + cache-invalidation suite for the batched MPS measurement engine.
+
+Every evaluation path (shared-environment sweep, compressed-MPO contraction,
+cost-model auto) must agree with the per-term transfer-matrix oracle to
+1e-10 on molecular Hamiltonians (H2, LiH) and random canonical states; the
+revision-keyed environment caches must never survive ``run()`` /
+``apply_*`` / ``reset()``; and the level-2 grouped dispatch must reduce
+deterministically for any in-process worker count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.operators.molecular import molecular_qubit_hamiltonian
+from repro.operators.pauli import PauliTerm, QubitOperator
+from repro.simulators.mps import MPS, routing_plan
+from repro.simulators.mps_circuit import MPSSimulator
+from repro.simulators.mps_measure import (
+    MEASUREMENT_MODES,
+    MPSMeasurementEngine,
+    build_sweep_plan,
+    compiled_mpo,
+    sweep_plan,
+)
+
+ATOL = 1e-10
+
+
+def random_operator(n_qubits, n_terms, seed, complex_coeffs=False):
+    """Random weighted Pauli-string operator (identity terms included)."""
+    rng = np.random.default_rng(seed)
+    mask = (1 << n_qubits) - 1
+    terms = {}
+    for _ in range(n_terms):
+        term = PauliTerm(int(rng.integers(0, mask + 1)),
+                         int(rng.integers(0, mask + 1)))
+        c = complex(rng.standard_normal(),
+                    rng.standard_normal() if complex_coeffs else 0.0)
+        terms[term] = terms.get(term, 0.0) + c
+    return QubitOperator(terms)
+
+
+@pytest.fixture(scope="module")
+def h2_hamiltonian(h2):
+    return molecular_qubit_hamiltonian(h2.mo), 4
+
+
+@pytest.fixture(scope="module")
+def lih_hamiltonian(lih):
+    return molecular_qubit_hamiltonian(lih.mo), 12
+
+
+class TestSweepParity:
+    @pytest.mark.parametrize("n_qubits,n_terms,seed",
+                             [(1, 4, 0), (2, 8, 1), (3, 16, 2), (6, 30, 3),
+                              (10, 60, 4)])
+    def test_random_states_match_oracle(self, n_qubits, n_terms, seed):
+        mps = MPS.random_state(n_qubits, bond_dimension=8, seed=seed)
+        op = random_operator(n_qubits, n_terms, seed + 50)
+        engine = MPSMeasurementEngine()
+        ref = engine.expectation_per_term(mps, op)
+        assert engine.expectation_sweep(mps, op) == pytest.approx(ref,
+                                                                  abs=ATOL)
+
+    def test_complex_coefficients(self):
+        # non-hermitian operators (RDM excitation strings): the real part
+        # combines term values exactly like the oracle
+        mps = MPS.random_state(5, bond_dimension=6, seed=9)
+        op = random_operator(5, 25, 17, complex_coeffs=True)
+        engine = MPSMeasurementEngine()
+        ref = engine.expectation_per_term(mps, op)
+        assert engine.expectation_sweep(mps, op) == pytest.approx(ref,
+                                                                  abs=ATOL)
+
+    def test_h2_hamiltonian(self, h2_hamiltonian):
+        ham, n = h2_hamiltonian
+        mps = MPS.random_state(n, bond_dimension=4, seed=1)
+        engine = MPSMeasurementEngine()
+        ref = engine.expectation_per_term(mps, ham)
+        assert engine.expectation_sweep(mps, ham) == pytest.approx(ref,
+                                                                   abs=ATOL)
+
+    def test_lih_hamiltonian(self, lih_hamiltonian):
+        ham, n = lih_hamiltonian
+        mps = MPS.random_state(n, bond_dimension=16, seed=2)
+        engine = MPSMeasurementEngine()
+        ref = engine.expectation_per_term(mps, ham)
+        assert engine.expectation_sweep(mps, ham) == pytest.approx(ref,
+                                                                   abs=ATOL)
+
+    def test_identity_only_operator(self):
+        mps = MPS.random_state(3, bond_dimension=2, seed=0)
+        op = QubitOperator.identity(2.5)
+        assert MPSMeasurementEngine().expectation_sweep(mps, op) \
+            == pytest.approx(2.5, abs=ATOL)
+
+    def test_register_mismatch_rejected(self):
+        mps = MPS.random_state(3, bond_dimension=2, seed=0)
+        op = random_operator(3, 4, 0)
+        with pytest.raises(ValidationError):
+            MPSMeasurementEngine().expectation_sweep(mps, op, n_qubits=5)
+
+    def test_term_support_beyond_register_rejected(self):
+        op = QubitOperator.from_term(PauliTerm.from_ops([(5, "Z")]), 1.0)
+        with pytest.raises(ValidationError):
+            build_sweep_plan(op, 4)
+
+
+class TestMPOParity:
+    @pytest.mark.parametrize("n_qubits,n_terms,seed",
+                             [(2, 8, 5), (4, 20, 6), (8, 40, 7)])
+    def test_random_states_match_oracle(self, n_qubits, n_terms, seed):
+        mps = MPS.random_state(n_qubits, bond_dimension=8, seed=seed)
+        op = random_operator(n_qubits, n_terms, seed + 80)
+        engine = MPSMeasurementEngine()
+        ref = engine.expectation_per_term(mps, op)
+        assert engine.expectation_mpo(mps, op) == pytest.approx(ref,
+                                                                abs=ATOL)
+
+    def test_lih_hamiltonian(self, lih_hamiltonian):
+        ham, n = lih_hamiltonian
+        mps = MPS.random_state(n, bond_dimension=16, seed=3)
+        engine = MPSMeasurementEngine()
+        ref = engine.expectation_per_term(mps, ham)
+        assert engine.expectation_mpo(mps, ham) == pytest.approx(ref,
+                                                                 abs=ATOL)
+
+    def test_compiled_mpo_bond_dimensions_are_compressed(self,
+                                                         lih_hamiltonian):
+        # the suffix-class incremental build must reach the minimal bond
+        # dimensions, far below the 630-term worst case
+        ham, n = lih_hamiltonian
+        assert max(compiled_mpo(ham, n).bond_dimensions()) < 64
+
+
+class TestAutoMode:
+    def test_auto_matches_oracle_on_lih(self, lih_hamiltonian):
+        ham, n = lih_hamiltonian
+        mps = MPS.random_state(n, bond_dimension=32, seed=4)
+        engine = MPSMeasurementEngine()
+        ref = engine.expectation_per_term(mps, ham)
+        assert engine.expectation(mps, ham, mode="auto") \
+            == pytest.approx(ref, abs=ATOL)
+
+    def test_auto_handles_tiny_operators(self):
+        # below the MPO window: must silently use the sweep
+        mps = MPS.random_state(4, bond_dimension=4, seed=5)
+        op = random_operator(4, 3, 11)
+        engine = MPSMeasurementEngine()
+        ref = engine.expectation_per_term(mps, op)
+        assert engine.expectation(mps, op) == pytest.approx(ref, abs=ATOL)
+
+    def test_unknown_mode_rejected(self):
+        mps = MPS.random_state(3, bond_dimension=2, seed=0)
+        with pytest.raises(ValidationError):
+            MPSMeasurementEngine().expectation(mps, QubitOperator.zero(),
+                                               mode="fastest")
+
+    def test_modes_tuple_is_canonical(self):
+        assert MEASUREMENT_MODES == ("auto", "sweep", "mpo", "per_term")
+
+
+class TestCacheInvalidation:
+    def _measure(self, engine, mps, op):
+        val = engine.expectation_sweep(mps, op)
+        assert engine.cache_valid_for(mps)
+        return val
+
+    def test_apply_one_qubit_invalidates(self):
+        mps = MPS.random_state(4, bond_dimension=4, seed=6)
+        op = random_operator(4, 10, 21)
+        engine = MPSMeasurementEngine()
+        self._measure(engine, mps, op)
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        mps.apply_one_qubit(x, 1)
+        assert not engine.cache_valid_for(mps)
+        ref = engine.expectation_per_term(mps, op)
+        assert self._measure(engine, mps, op) == pytest.approx(ref,
+                                                               abs=ATOL)
+
+    def test_apply_two_qubit_invalidates(self):
+        mps = MPS.random_state(4, bond_dimension=4, seed=7)
+        op = random_operator(4, 10, 22)
+        engine = MPSMeasurementEngine()
+        self._measure(engine, mps, op)
+        cz = np.diag([1.0, 1.0, 1.0, -1.0]).astype(complex)
+        mps.apply_two_qubit(cz, 0, 3)  # routed through swaps
+        assert not engine.cache_valid_for(mps)
+        ref = engine.expectation_per_term(mps, op)
+        assert self._measure(engine, mps, op) == pytest.approx(ref,
+                                                               abs=ATOL)
+
+    def test_run_and_reset_invalidate_through_simulator(self):
+        from repro.circuits.hea import random_brick_circuit
+
+        sim = MPSSimulator(4, measurement="sweep")
+        op = random_operator(4, 10, 23)
+        sim.expectation(op)
+        state = sim.state
+        assert sim._engine.cache_valid_for(state)
+        sim.run(random_brick_circuit(4, 1, seed=13))
+        assert not sim._engine.cache_valid_for(state)
+        sim.expectation(op)
+        assert sim._engine.cache_valid_for(sim.state)
+        held = sim.state
+        sim.reset()
+        # reset replaces the state object: the identity check must fail
+        assert sim.state is not held
+        assert not sim._engine.cache_valid_for(sim.state)
+        ref = sim._engine.expectation_per_term(sim.state, op)
+        assert sim.expectation(op) == pytest.approx(ref, abs=ATOL)
+
+    def test_copied_simulator_gets_fresh_engine(self):
+        sim = MPSSimulator(3, measurement="sweep")
+        op = random_operator(3, 6, 24)
+        sim.expectation(op)
+        clone = sim.copy()
+        assert clone._engine is not sim._engine
+        assert clone.expectation(op) == pytest.approx(sim.expectation(op),
+                                                      abs=ATOL)
+
+    def test_repeated_measurement_reuses_term_values(self):
+        mps = MPS.random_state(5, bond_dimension=4, seed=8)
+        op = random_operator(5, 12, 25)
+        engine = MPSMeasurementEngine()
+        first = engine.expectation_sweep(mps, op)
+        # same state revision: the cached per-term values are reused and
+        # the result is bitwise identical
+        assert engine.expectation_sweep(mps, op) == first
+
+
+class TestGroupedMPSDispatch:
+    def test_grouped_matches_oracle_and_is_deterministic(self,
+                                                         h2_hamiltonian):
+        from repro.parallel.executor import ExecutorCounters, GroupedObservable
+
+        ham, n = h2_hamiltonian
+        mps = MPS.random_state(n, bond_dimension=8, seed=10)
+        grouped = GroupedObservable(ham, n)
+        counters = ExecutorCounters()
+        serial = grouped.expectation_mps(mps, counters=counters)
+        threaded = grouped.expectation_mps(mps, "thread")
+        ref = MPSMeasurementEngine().expectation_per_term(mps, ham)
+        assert serial == threaded  # bitwise: fixed group order + Kahan
+        assert serial == pytest.approx(ref, abs=ATOL)
+        assert counters.to_dict()["pauli_groups"]["calls"] == 1
+
+    def test_process_executor_rejected(self, h2_hamiltonian):
+        from repro.parallel.executor import GroupedObservable
+
+        ham, n = h2_hamiltonian
+        mps = MPS.random_state(n, bond_dimension=4, seed=11)
+        with pytest.raises(ValidationError, match="in-process"):
+            GroupedObservable(ham, n).expectation_mps(mps, "process")
+
+    def test_threelevel_engine_unwraps_simulators(self, h2_hamiltonian):
+        from repro.parallel.threelevel import ThreeLevelEngine
+
+        ham, n = h2_hamiltonian
+        sim = MPSSimulator(n)
+        sim.state = MPS.random_state(n, bond_dimension=8, seed=12)
+        with ThreeLevelEngine(executor="serial") as engine:
+            via_sim = engine.expectation(ham, sim)
+            via_state = engine.expectation(ham, sim.state)
+        ref = MPSMeasurementEngine().expectation_per_term(sim.state, ham)
+        assert via_sim == via_state
+        assert via_sim == pytest.approx(ref, abs=ATOL)
+
+
+class TestRoutingPlans:
+    def test_plan_schedules_are_cached_and_symmetric(self):
+        plan = routing_plan(0, 3)
+        assert plan.swaps_in == (0, 1)
+        assert plan.gate_site == 2
+        assert not plan.permute
+        assert plan.swaps_out == (1, 0)
+        assert plan.n_swaps == 4
+        assert routing_plan(0, 3) is plan  # lru_cache hit
+        rev = routing_plan(3, 0)
+        assert rev.permute
+        assert rev.gate_site == 0
+
+    def test_same_qubit_rejected(self):
+        with pytest.raises(ValidationError):
+            routing_plan(2, 2)
+
+
+class TestMPSCopyAndSampling:
+    def test_copy_preserves_update_scheme(self):
+        # regression: copies of "vidal"-mode states silently reverted to
+        # the "hastings" default before the propagation fix
+        mps = MPS(4, update_scheme="vidal")
+        assert mps.copy().update_scheme == "vidal"
+        assert MPS(4).copy().update_scheme == "hastings"
+
+    def test_vectorized_sampling_statistics(self):
+        # the batched sampler must reproduce the state's marginals
+        mps = MPS.random_state(5, bond_dimension=4, seed=14)
+        probs = np.abs(mps.to_statevector()) ** 2
+        samples = mps.sample(4000, seed=15)
+        p1 = np.zeros(5)
+        for s in samples:
+            for q, ch in enumerate(s):
+                p1[q] += ch == "1"
+        p1 /= len(samples)
+        # statevector index bit order: qubit 0 is the most significant bit
+        exact = np.array([
+            probs[np.fromiter(((i >> (4 - q)) & 1 for i in range(32)),
+                              dtype=bool)].sum()
+            for q in range(5)
+        ])
+        assert np.all(np.abs(p1 - exact) < 0.05)
+
+
+class TestSweepPlanStructure:
+    def test_plan_is_cached_by_operator_content(self):
+        op = random_operator(5, 10, 30)
+        assert sweep_plan(op, 5) is sweep_plan(op, 5)
+
+    def test_env_steps_bounded_by_per_term_walks(self, lih_hamiltonian):
+        # sharing must strictly beat one walk per term over its span
+        ham, n = lih_hamiltonian
+        plan = sweep_plan(ham, n)
+        per_term_steps = 0
+        for term, _ in ham:
+            if term.is_identity():
+                continue
+            ops = term.ops()
+            per_term_steps += ops[-1][0] - ops[0][0] + 1
+        assert plan.n_env_steps < per_term_steps / 2
