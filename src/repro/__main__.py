@@ -50,6 +50,23 @@ def _build_molecule(args):
 
 def cmd_energy(args) -> int:
     """Run the requested energy method and print the result."""
+    observing = bool(args.metrics_out or args.trace)
+    if observing:
+        from repro import obs
+
+        obs.reset()
+        obs.enable(trace=bool(args.trace))
+    try:
+        return _run_energy(args)
+    finally:
+        if observing:
+            if args.metrics_out:
+                obs.write_json(args.metrics_out)
+                print(f"metrics written to {args.metrics_out}")
+            obs.disable()
+
+
+def _run_energy(args) -> int:
     from repro.q2chem import Q2Chemistry
 
     molecule = _build_molecule(args)
@@ -195,6 +212,14 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--fragment-atoms", type=int, default=2)
     pe.add_argument("--equivalent", action="store_true",
                     help="treat all fragments as symmetry equivalent")
+    pe.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="enable repro.obs instrumentation and write the "
+                         "metric/span snapshot as JSON (schema "
+                         "'repro.obs/1', see docs/OBSERVABILITY.md)")
+    pe.add_argument("--trace", action="store_true",
+                    help="also record timing spans (vqe.run, vqe.energy, "
+                         "dmet.evaluate, ...) into the --metrics-out "
+                         "document")
     pe.set_defaults(func=cmd_energy)
 
     ps = sub.add_parser("scaling", help="replay the Sunway scaling runs")

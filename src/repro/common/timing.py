@@ -24,6 +24,13 @@ from typing import Callable, Iterator
 class Timer:
     """Accumulating named timer.
 
+    All measurements come from :func:`time.perf_counter` - the monotonic
+    clock - so totals can never go backwards under system clock
+    adjustments.  Re-entering a section that is already running (nested
+    timer reuse, e.g. a recursive solver timing itself) accumulates the
+    *outermost* interval exactly once instead of double-counting the
+    inner stretch; every entry still increments the call count.
+
     Example
     -------
     >>> t = Timer()
@@ -35,15 +42,20 @@ class Timer:
 
     totals: dict[str, float] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
+    _depth: dict[str, int] = field(default_factory=dict)
 
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
+        depth = self._depth.get(name, 0)
+        self._depth[name] = depth + 1
+        start = time.perf_counter() if depth == 0 else 0.0
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self._depth[name] -= 1
+            if depth == 0:
+                elapsed = time.perf_counter() - start
+                self.totals[name] = self.totals.get(name, 0.0) + elapsed
             self.counts[name] = self.counts.get(name, 0) + 1
 
     def total(self, name: str) -> float:
@@ -57,6 +69,7 @@ class Timer:
     def reset(self) -> None:
         self.totals.clear()
         self.counts.clear()
+        self._depth.clear()
 
     def report(self) -> str:
         """Human-readable breakdown sorted by descending total time."""

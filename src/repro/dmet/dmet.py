@@ -26,6 +26,14 @@ from repro.dmet.bath import build_bath
 from repro.dmet.embedding import EmbeddingProblem, build_embedding_hamiltonian
 from repro.dmet.orthogonalize import OrthogonalSystem
 from repro.dmet.solvers import FCIFragmentSolver, FragmentSolution
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
+
+# observability instruments (no-ops unless `repro.obs` is enabled)
+_M_FRAGMENT_SOLVES = _obs.counter(
+    "dmet.fragment_solves", "embedded fragment problems solved")
+_M_MU_ITERATIONS = _obs.counter(
+    "dmet.mu_iterations", "chemical-potential (mu) fitting iterations")
 
 
 def atoms_per_fragment(system: OrthogonalSystem,
@@ -140,14 +148,19 @@ class DMET:
         declared equivalent.
         """
         mult = len(self.fragments) if self.all_fragments_equivalent else 1
-        if self.n_workers > 1 and len(self.problems) > 1:
-            from repro.parallel.threelevel import ThreeLevelDriver
+        _M_MU_ITERATIONS.inc()
+        _M_FRAGMENT_SOLVES.inc(len(self.problems))
+        with _trace.span("dmet.evaluate", mu=float(mu),
+                         n_fragments=len(self.problems)):
+            if self.n_workers > 1 and len(self.problems) > 1:
+                from repro.parallel.threelevel import ThreeLevelDriver
 
-            solutions = ThreeLevelDriver.run_fragments_local(
-                self.problems, self.solver, mu, max_workers=self.n_workers,
-                executor=self.executor)
-        else:
-            solutions = [self.solver.solve(p, mu=mu) for p in self.problems]
+                solutions = ThreeLevelDriver.run_fragments_local(
+                    self.problems, self.solver, mu,
+                    max_workers=self.n_workers, executor=self.executor)
+            else:
+                solutions = [self.solver.solve(p, mu=mu)
+                             for p in self.problems]
         energies: list[float] = []
         e_total = self.system.constant
         n_total = 0.0

@@ -1,0 +1,133 @@
+"""``repro.obs`` - zero-dependency observability: metrics, traces, export.
+
+The subsystem the paper's engineering sections imply but never ship: the
+MPS engine is steered by quantities (per-bond truncation error, GEMM/SVD
+counts, task distributions) that the rest of the stack computes and then
+throws away.  This package records them behind a **no-op default**:
+
+* :mod:`repro.obs.metrics` - a registry of counters / gauges / histograms
+  with labels; every instrument checks one shared flag and returns
+  immediately when disabled, so instrumented hot paths cost one branch.
+* :mod:`repro.obs.trace` - ``span("vqe.iteration")`` context managers
+  with nesting, wall (``perf_counter``) and CPU (``process_time``) time.
+* :mod:`repro.obs.export` - the documented ``repro.obs/1`` JSON / JSONL
+  schema behind ``--metrics-out`` and ``VQEResult.metrics``.
+
+Because counters record algorithmic events (never durations), their
+values are deterministic: ``tests/regression/`` pins exact SVD/GEMM/task
+counts for reference workloads and fails CI on silent algorithmic
+regressions where wall-clock benchmarks cannot.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()                  # or:  with obs.collect() as reg: ...
+    result = job.vqe_energy(simulator="mps")
+    print(result.metrics["mps.svd"]["values"])
+    obs.write_json("metrics.json")
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    snapshot,
+    validate_document,
+    write_json,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+)
+from repro.obs.trace import TRACER, SpanRecord, Tracer, span
+
+
+def enable(trace: bool = False) -> None:
+    """Turn metric recording on (and span tracing too if ``trace``)."""
+    REGISTRY.enable()
+    if trace:
+        TRACER.enable()
+
+
+def disable() -> None:
+    """Turn metric recording and tracing off (values are kept)."""
+    REGISTRY.disable()
+    TRACER.disable()
+
+
+def enabled() -> bool:
+    """True when the global metrics registry is recording."""
+    return REGISTRY.enabled
+
+
+def reset() -> None:
+    """Zero every metric and drop every span."""
+    REGISTRY.reset()
+    TRACER.reset()
+
+
+def value(name: str, default=0, **labels):
+    """Convenience read of one labelled metric slot off the registry."""
+    return REGISTRY.value(name, default, **labels)
+
+
+@contextmanager
+def collect(trace: bool = False):
+    """Scoped collection: reset, enable, yield the registry, restore.
+
+    The previous enabled/disabled state is restored on exit, so library
+    code can observe one call without disturbing ambient configuration::
+
+        with obs.collect() as reg:
+            evaluator.energy(theta)
+        assert reg.value("vqe.energy_evaluations") == 1
+    """
+    prev_metrics = REGISTRY.enabled
+    prev_trace = TRACER.enabled
+    reset()
+    REGISTRY.enable()
+    if trace:
+        TRACER.enable()
+    try:
+        yield REGISTRY
+    finally:
+        REGISTRY.enabled = prev_metrics
+        TRACER.enabled = prev_trace
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SCHEMA_VERSION",
+    "SpanRecord",
+    "TRACER",
+    "Tracer",
+    "collect",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "histogram",
+    "reset",
+    "snapshot",
+    "span",
+    "validate_document",
+    "value",
+    "write_json",
+    "write_jsonl",
+]

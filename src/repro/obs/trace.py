@@ -1,0 +1,161 @@
+"""Span-based tracing: nested wall/CPU-timed sections.
+
+A *span* is one named, timed section of work - ``trace.span("vqe.iteration")``
+- entered as a context manager.  Spans nest: each records its parent and
+depth, so an exported trace reconstructs the call tree
+(``vqe.run`` > ``vqe.energy`` > ``mps.sweep``).  Wall time comes from
+:func:`time.perf_counter` (monotonic) and CPU time from
+:func:`time.process_time`, the two clocks the paper's kernel studies
+(Figs. 8-11) distinguish between BLAS-bound and orchestration-bound work.
+
+Like the metrics registry, the tracer is disabled by default and its
+``span`` context manager is a no-op that records nothing when off.  Unlike
+counters, span *durations* are not deterministic - the regression suite
+pins counters only; spans are for human-facing flame-style breakdowns.
+
+The span stack is thread-local, so worker threads build their own subtrees
+without interleaving (their spans carry the recording thread's name).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class SpanRecord:
+    """One completed span (JSON-ready through :meth:`to_dict`)."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    depth: int
+    start_s: float          # perf_counter at entry (relative, monotonic)
+    wall_s: float
+    cpu_s: float
+    thread: str
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "thread": self.thread,
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class Tracer:
+    """Collects completed spans; enabled/disabled like the registry."""
+
+    def __init__(self):
+        self.enabled = False
+        self.spans: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start recording spans."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording spans (already-recorded spans are kept)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every recorded span and restart span numbering."""
+        with self._lock:
+            self.spans.clear()
+            self._next_id = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[SpanRecord | None]:
+        """Timed, nested section; yields the in-flight record (None if
+        disabled) so callers may attach attributes mid-span."""
+        if not self.enabled:
+            yield None
+            return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            sid = self._next_id
+            self._next_id += 1
+        rec = SpanRecord(
+            span_id=sid,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            depth=len(stack),
+            start_s=0.0,
+            wall_s=0.0,
+            cpu_s=0.0,
+            thread=threading.current_thread().name,
+            attrs=dict(attrs),
+        )
+        stack.append(rec)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        rec.start_s = wall0
+        try:
+            yield rec
+        finally:
+            rec.wall_s = time.perf_counter() - wall0
+            rec.cpu_s = time.process_time() - cpu0
+            stack.pop()
+            with self._lock:
+                self.spans.append(rec)
+
+    # -- reading ---------------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """Completed spans as JSON-ready dicts, in completion order."""
+        with self._lock:
+            return [rec.to_dict() for rec in self.spans]
+
+    def totals(self) -> dict[str, dict]:
+        """Per-name aggregate: {name: {count, wall_s, cpu_s}}."""
+        out: dict[str, dict] = {}
+        with self._lock:
+            for rec in self.spans:
+                slot = out.setdefault(
+                    rec.name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0})
+                slot["count"] += 1
+                # only top-of-name spans would avoid double counting, but
+                # self-recursive spans are not used here; keep the raw sum
+                slot["wall_s"] += rec.wall_s
+                slot["cpu_s"] += rec.cpu_s
+        return out
+
+
+#: the process-wide tracer (paired with :data:`repro.obs.metrics.REGISTRY`)
+TRACER = Tracer()
+
+
+def span(name: str, **attrs):
+    """Context manager recording one span on the global tracer."""
+    return TRACER.span(name, **attrs)
+
+
+__all__ = ["SpanRecord", "TRACER", "Tracer", "span"]

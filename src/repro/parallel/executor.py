@@ -36,8 +36,31 @@ import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.common.reductions import kahan_sum
+from repro.obs import metrics as _obs
 from repro.operators.pauli import PauliTerm, QubitOperator
 from repro.parallel.scheduler import chunk_round_robin
+
+# observability instruments (no-ops unless `repro.obs` is enabled); the
+# partition is worker-count independent, so task totals are deterministic
+_M_TASKS = _obs.counter(
+    "parallel.tasks", "tasks dispatched, labelled by level "
+    "(fragments | pauli_groups)")
+_M_DISPATCHES = _obs.counter(
+    "parallel.dispatches", "dispatched batches, labelled by level")
+_M_WORKER_TASKS = _obs.counter(
+    "parallel.worker_tasks",
+    "tasks per round-robin worker slot, labelled level/worker")
+_M_REDUCTION = _obs.histogram(
+    "parallel.reduction_size",
+    "partials folded per deterministic (Kahan) reduction")
+
+
+def _record_worker_chunks(chunks: Iterable[Sequence], level: str) -> None:
+    """Mirror a round-robin chunking into per-worker task counters."""
+    if not _obs.REGISTRY.enabled:
+        return
+    for worker, idxs in enumerate(chunks):
+        _M_WORKER_TASKS.inc(len(idxs), level=level, worker=worker)
 
 #: default number of Pauli-group batches per Hamiltonian.  Fixed (rather
 #: than "one per worker") so the partition - and therefore every partial
@@ -343,6 +366,15 @@ def _operator_from_payload(payload: GroupPayload) -> QubitOperator:
     })
 
 
+def clear_worker_compiled_cache() -> None:
+    """Drop this process's compiled-group cache (tests / memory pressure).
+
+    Worker processes of a live pool keep their own copies; those empty
+    naturally when the pool is closed.
+    """
+    _WORKER_COMPILED.clear()
+
+
 def _compiled_for_payload(key: tuple, payload: GroupPayload, n_qubits: int):
     """Compile (or fetch) the batched observable for one group payload."""
     from repro.simulators.pauli_kernels import CompiledObservable
@@ -475,6 +507,10 @@ class GroupedObservable:
         finally:
             if owned:
                 executor.close()
+        if _obs.REGISTRY.enabled:
+            _M_TASKS.inc(self.n_groups, level="pauli_groups")
+            _M_DISPATCHES.inc(level="pauli_groups")
+            _M_REDUCTION.observe(len(partials))
         # fixed group order + compensated summation = bitwise reproducible
         total = kahan_sum(partials)
         total += self.constant * float(np.real(np.vdot(psi, psi)))
@@ -486,8 +522,10 @@ class GroupedObservable:
     def _expectation_in_process(self, psi: np.ndarray, executor) -> list[float]:
         compiled = self._compiled_groups()
         if executor is None or executor.workers == 1:
+            _record_worker_chunks([range(len(compiled))], "pauli_groups")
             return [c.expectation(psi) for c in compiled]
         chunks = chunk_round_robin(len(compiled), executor.workers)
+        _record_worker_chunks(chunks, "pauli_groups")
         results = executor.map(
             lambda idxs: [(i, compiled[i].expectation(psi)) for i in idxs],
             chunks)
@@ -530,9 +568,11 @@ class GroupedObservable:
             engine = self._mps_engine
             ops = self._group_operators()
             if executor is None or executor.workers == 1:
+                _record_worker_chunks([range(len(ops))], "pauli_groups")
                 partials = [engine.expectation_sweep(mps, op) for op in ops]
             else:
                 chunks = chunk_round_robin(len(ops), executor.workers)
+                _record_worker_chunks(chunks, "pauli_groups")
                 results = executor.map(
                     lambda idxs: [(i, engine.expectation_sweep(mps, ops[i]))
                                   for i in idxs],
@@ -541,6 +581,10 @@ class GroupedObservable:
         finally:
             if owned:
                 executor.close()
+        if _obs.REGISTRY.enabled:
+            _M_TASKS.inc(self.n_groups, level="pauli_groups")
+            _M_DISPATCHES.inc(level="pauli_groups")
+            _M_REDUCTION.observe(len(partials))
         # fixed group order + compensated summation = bitwise reproducible;
         # canonical-form MPS states are normalized, so the constant needs
         # no <psi|psi> weighting
@@ -559,6 +603,7 @@ class GroupedObservable:
 
     def _expectation_shared(self, psi: np.ndarray, executor) -> list[float]:
         chunks = chunk_round_robin(len(self.payloads), executor.workers)
+        _record_worker_chunks(chunks, "pauli_groups")
         with SharedStatevector(psi) as shared:
             tasks = [
                 (shared.handle, self.n_qubits,
@@ -588,6 +633,7 @@ __all__ = [
     "SharedStatevector",
     "ThreadExecutor",
     "available_executors",
+    "clear_worker_compiled_cache",
     "default_worker_count",
     "executor_spec",
     "register_executor",

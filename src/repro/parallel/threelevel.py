@@ -25,12 +25,21 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.errors import ValidationError
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.parallel.comm import SimCluster, CommStats
 from repro.parallel.executor import (
     ExecutorCounters,
     GroupedObservable,
     resolve_executor,
 )
+
+# observability instruments (no-ops unless `repro.obs` is enabled)
+_M_FRAG_TASKS = _obs.counter(
+    "parallel.tasks", "tasks dispatched, labelled by level "
+    "(fragments | pauli_groups)")
+_M_FRAG_DISPATCHES = _obs.counter(
+    "parallel.dispatches", "dispatched batches, labelled by level")
 from repro.parallel.perfmodel import (
     CircuitCostModel,
     VQEIterationModel,
@@ -207,9 +216,14 @@ class ThreeLevelEngine:
             )
         t0 = time.perf_counter()
         tasks = [(solver, p, mu) for p in problems]
-        out = self.executor.map(_solve_fragment, tasks)
+        with _trace.span("parallel.run_fragments", n_tasks=len(tasks),
+                         executor=self.executor.name):
+            out = self.executor.map(_solve_fragment, tasks)
         self.counters.record("fragments", time.perf_counter() - t0,
                              len(tasks))
+        if _obs.REGISTRY.enabled:
+            _M_FRAG_TASKS.inc(len(tasks), level="fragments")
+            _M_FRAG_DISPATCHES.inc(level="fragments")
         return out
 
     # -- level 2: Pauli-group batches -----------------------------------------

@@ -100,14 +100,17 @@ class Q2Chemistry:
                    max_iterations: int = 4000,
                    initial_parameters: np.ndarray | None = None,
                    parallel: str | None = None,
-                   n_workers: int | None = None) -> VQEResult:
+                   n_workers: int | None = None,
+                   observe: bool = False) -> VQEResult:
         """MPS-VQE (or SV-VQE) on the full active space.
 
         ``measurement`` picks the MPS observable-evaluation path ("auto" |
         "sweep" | "mpo" | "per_term"); ``parallel``/``n_workers`` route
         energy evaluations through the level-2 parallel measurement engine
         (executor name + pool width); results are bitwise identical across
-        executors and worker counts.
+        executors and worker counts.  ``observe=True`` collects the
+        :mod:`repro.obs` instrumentation for just this run and attaches
+        the snapshot as ``result.metrics`` (see docs/OBSERVABILITY.md).
         """
         mo = self._mo()
         hamiltonian = molecular_qubit_hamiltonian(mo)
@@ -117,6 +120,11 @@ class Q2Chemistry:
                  measurement=measurement, optimizer=optimizer,
                  tolerance=tolerance, max_iterations=max_iterations,
                  parallel=parallel, n_workers=n_workers) as vqe:
+            if observe:
+                from repro import obs
+
+                with obs.collect():
+                    return vqe.run(initial_parameters)
             return vqe.run(initial_parameters)
 
     # -- DMET ------------------------------------------------------------------------

@@ -30,12 +30,39 @@ import numpy as np
 
 from repro.common.errors import TruncationOverflowError, ValidationError
 from repro.common.rng import default_rng
+from repro.obs import metrics as _obs
 from repro.simulators.kernels import (
     KernelBackend,
     get_backend,
     svd_truncated,
     tensordot_fused,
 )
+
+# observability instruments (no-ops unless `repro.obs` is enabled); counter
+# values are deterministic functions of the gate stream, which the
+# tests/regression/ budgets pin
+_M_GATE_1Q = _obs.counter(
+    "mps.gate_1q", "single-qubit gate applications")
+_M_GATE_2Q = _obs.counter(
+    "mps.gate_2q", "two-qubit gate applications (before routing)")
+_M_SWAP = _obs.counter(
+    "mps.swap", "adjacent SWAPs inserted by routing plans")
+_M_SVD = _obs.counter(
+    "mps.svd", "truncated SVDs (Eq. 9 updates and canonicalization sweeps)")
+_M_DISCARDED = _obs.counter(
+    "mps.discarded_weight",
+    "discarded Schmidt weight (Eq. 11 truncation error), labelled per bond",
+    unit="weight")
+_M_TRUNC_EVENTS = _obs.counter(
+    "mps.truncation_events", "truncations with nonzero discarded weight")
+_M_MAX_BOND = _obs.gauge(
+    "mps.max_bond_dimension", "largest bond dimension reached")
+_M_ROUTE_REQUESTS = _obs.counter(
+    "mps.routing_plan.requests", "routing-plan lookups (non-trivial pairs)")
+_M_ROUTE_MISSES = _obs.counter(
+    "mps.routing_plan.misses",
+    "routing plans actually derived (lru_cache misses); "
+    "hits = requests - misses")
 
 _SWAP = np.array([[1, 0, 0, 0],
                   [0, 0, 1, 0],
@@ -45,20 +72,37 @@ _SWAP = np.array([[1, 0, 0, 0],
 
 @dataclass
 class TruncationStats:
-    """Accumulated truncation diagnostics for one MPS evolution."""
+    """Accumulated truncation diagnostics for one MPS evolution.
+
+    ``per_bond_discarded_weight`` resolves the total by bond index (the
+    bond *left of* the site carrying the new Schmidt vector), which is
+    the Eq. 11 truncation-error budget the property suite checks against
+    exact-state fidelity and ``repro.obs`` exports per bond.
+    """
 
     total_discarded_weight: float = 0.0
     max_discarded_weight: float = 0.0
     truncation_events: int = 0
     max_bond_dimension_reached: int = 1
+    per_bond_discarded_weight: dict[int, float] = field(default_factory=dict)
 
-    def record(self, discarded: float, bond_dim: int) -> None:
+    def record(self, discarded: float, bond_dim: int,
+               bond: int | None = None) -> None:
         self.total_discarded_weight += discarded
         self.max_discarded_weight = max(self.max_discarded_weight, discarded)
         if discarded > 0.0:
             self.truncation_events += 1
-        self.max_bond_dimension_reached = max(
-            self.max_bond_dimension_reached, bond_dim)
+            if bond is not None:
+                self.per_bond_discarded_weight[bond] = \
+                    self.per_bond_discarded_weight.get(bond, 0.0) + discarded
+        if bond_dim > self.max_bond_dimension_reached:
+            self.max_bond_dimension_reached = bond_dim
+        if _obs.REGISTRY.enabled:
+            if discarded > 0.0:
+                _M_TRUNC_EVENTS.inc()
+                if bond is not None:
+                    _M_DISCARDED.inc(discarded, bond=bond)
+            _M_MAX_BOND.set_max(bond_dim)
 
 
 class MPS:
@@ -176,7 +220,9 @@ class MPS:
             u, s, vh, disc = svd_truncated(
                 mat, self.max_bond_dimension, self.cutoff,
                 backend=self.backend)
-            self.stats.record(disc, s.size)
+            if _obs.REGISTRY.enabled:
+                _M_SVD.inc()
+            self.stats.record(disc, s.size, bond=q)
             norm = np.linalg.norm(s)
             s = s / norm
             self.lambdas[q] = s
@@ -236,6 +282,8 @@ class MPS:
         """Apply a 2x2 unitary on site q (right-canonical preserved)."""
         if q < 0 or q >= self.n_qubits:
             raise ValidationError(f"qubit {q} out of range")
+        if _obs.REGISTRY.enabled:
+            _M_GATE_1Q.inc()
         self.tensors[q] = tensordot_fused(
             mat.astype(complex), self.tensors[q], axes=((1,), (1,)),
             backend=self.backend).transpose(1, 0, 2)
@@ -258,6 +306,11 @@ class MPS:
             if q < 0 or q >= self.n_qubits:
                 raise ValidationError(f"qubit {q} out of range")
         plan = routing_plan(q1, q2)
+        if _obs.REGISTRY.enabled:
+            _M_GATE_2Q.inc()
+            _M_ROUTE_REQUESTS.inc()
+            if plan.n_swaps:
+                _M_SWAP.inc(plan.n_swaps)
         gate = np.asarray(mat, complex)
         if plan.permute:
             gate = _permute4(gate)
@@ -286,7 +339,9 @@ class MPS:
             m_scaled.reshape(dl * 2, 2 * dr),
             self.max_bond_dimension, self.cutoff, backend=self.backend)
         chi = s.size
-        self.stats.record(disc, chi)
+        if _obs.REGISTRY.enabled:
+            _M_SVD.inc()
+        self.stats.record(disc, chi, bond=q + 1)
         if (self.max_truncation_error is not None
                 and self.stats.total_discarded_weight
                 > self.max_truncation_error):
@@ -438,6 +493,7 @@ class MPS:
             self.stats.max_discarded_weight,
             self.stats.truncation_events,
             self.stats.max_bond_dimension_reached,
+            dict(self.stats.per_bond_discarded_weight),
         )
         return other
 
@@ -482,6 +538,7 @@ def routing_plan(q1: int, q2: int) -> RoutingPlan:
     """
     if q1 == q2:
         raise ValidationError("two-qubit gate needs distinct qubits")
+    _M_ROUTE_MISSES.inc()  # this body only runs on an lru_cache miss
     if q1 < q2:
         swaps_in = tuple(range(q1, q2 - 1))
         return RoutingPlan(swaps_in=swaps_in, gate_site=q2 - 1,

@@ -36,9 +36,36 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import ValidationError
+from repro.obs import metrics as _obs
 from repro.operators.pauli import QubitOperator
 from repro.simulators.mps import MPS
 from repro.simulators.pauli_kernels import observable_cache_key
+
+# observability instruments (free unless `repro.obs` is enabled); every
+# counter is a deterministic function of (operator, state shape), so the
+# regression suite pins exact values across worker counts
+_M_EVALS = _obs.counter(
+    "mps_measure.evaluations",
+    "batched <H> evaluations, labelled by path "
+    "(sweep | mpo | per_term | cached)")
+_M_ENV_STEPS = _obs.counter(
+    "mps_measure.env_steps",
+    "environment-row advances per sweep evaluation (the D^3 work)")
+_M_GEMM = _obs.counter(
+    "mps_measure.gemm_calls",
+    "batched GEMM invocations issued by sweep evaluations")
+_M_FLOPS = _obs.counter(
+    "mps_measure.modeled_flops",
+    "cost-model flops of each evaluation, labelled by path", unit="flop")
+_M_PLAN_CACHE = _obs.counter(
+    "mps_measure.plan_cache",
+    "sweep-plan compilation cache lookups, labelled hit/miss")
+_M_MPO_CACHE = _obs.counter(
+    "mps_measure.mpo_cache",
+    "compiled-MPO cache lookups, labelled hit/miss")
+_M_TERM_CACHE = _obs.counter(
+    "mps_measure.term_value_cache_hits",
+    "evaluations answered entirely from the per-revision term-value cache")
 
 _PAULI_MATS = {
     "X": np.array([[0, 1], [1, 0]], dtype=complex),
@@ -111,6 +138,19 @@ class SweepPlan:
     def n_terms(self) -> int:
         """Number of non-identity terms in the schedule."""
         return len(self.term_keys)
+
+    @property
+    def n_gemm_calls(self) -> int:
+        """Batched GEMM invocations one evaluation issues.
+
+        Each (site, character) advance group costs two ``np.matmul``
+        calls (ket-side then bra-side), on both the left and the right
+        sweep; the per-term O(D^2) combines are einsum reductions, not
+        GEMMs, and are excluded.
+        """
+        groups = sum(len(g) for g in self.adv_l) \
+            + sum(len(g) for g in self.adv_r)
+        return 2 * groups
 
 
 #: bond-dimension cap used by the split chooser's structural weight model
@@ -290,10 +330,13 @@ def sweep_plan(op: QubitOperator, n_qubits: int) -> SweepPlan:
     key = observable_cache_key(op, n_qubits)
     hit = _PLAN_CACHE.get(key)
     if hit is None:
+        _M_PLAN_CACHE.inc(outcome="miss")
         hit = build_sweep_plan(op, n_qubits)
         if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
             _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
         _PLAN_CACHE[key] = hit
+    else:
+        _M_PLAN_CACHE.inc(outcome="hit")
     return hit
 
 
@@ -304,10 +347,13 @@ def compiled_mpo(op: QubitOperator, n_qubits: int):
     key = observable_cache_key(op, n_qubits)
     hit = _MPO_CACHE.get(key)
     if hit is None:
+        _M_MPO_CACHE.inc(outcome="miss")
         hit = MPO.from_qubit_operator(op, n_qubits)
         if len(_MPO_CACHE) >= _MPO_CACHE_MAX:
             _MPO_CACHE.pop(next(iter(_MPO_CACHE)))
         _MPO_CACHE[key] = hit
+    else:
+        _M_MPO_CACHE.inc(outcome="hit")
     return hit
 
 
@@ -436,8 +482,16 @@ class MPSMeasurementEngine:
         if all(k in values for k in plan.term_keys):
             # the whole operator was measured against this exact state
             # revision already (e.g. a repeated RDM element)
+            _M_TERM_CACHE.inc()
+            _M_EVALS.inc(path="cached")
             vals = np.array([values[k] for k in plan.term_keys])
         else:
+            if _obs.REGISTRY.enabled:
+                _M_EVALS.inc(path="sweep")
+                _M_ENV_STEPS.inc(plan.n_env_steps)
+                _M_GEMM.inc(plan.n_gemm_calls)
+                _M_FLOPS.inc(_sweep_flops(plan, mps.max_bond()),
+                             path="sweep")
             vals = self._sweep_values(mps, plan)
             for key, v in zip(plan.term_keys, vals):
                 values[key] = v
@@ -524,10 +578,15 @@ class MPSMeasurementEngine:
             )
         if not op.simplify(0.0).terms:
             return 0.0
-        return float(compiled_mpo(op, n).expectation(mps))
+        mpo = compiled_mpo(op, n)
+        if _obs.REGISTRY.enabled:
+            _M_EVALS.inc(path="mpo")
+            _M_FLOPS.inc(_mpo_flops(mpo, mps.max_bond()), path="mpo")
+        return float(mpo.expectation(mps))
 
     def expectation_per_term(self, mps: MPS, op: QubitOperator) -> float:
         """The classic independent-contraction path (correctness oracle)."""
+        _M_EVALS.inc(path="per_term")
         total = 0.0 + 0.0j
         for term, coeff in op:
             if term.is_identity():
@@ -570,6 +629,9 @@ class MPSMeasurementEngine:
                 and _MPO_MIN_TERMS <= plan.n_terms <= _MPO_MAX_TERMS):
             mpo = compiled_mpo(op, n)
         if mpo is not None and _mpo_flops(mpo, d) < _sweep_flops(plan, d):
+            if _obs.REGISTRY.enabled:
+                _M_EVALS.inc(path="mpo")
+                _M_FLOPS.inc(_mpo_flops(mpo, d), path="mpo")
             return float(mpo.expectation(mps))
         return self._evaluate_plan(mps, plan)
 

@@ -25,7 +25,23 @@ import numpy as np
 
 from repro.common.bits import popcount
 from repro.common.errors import ValidationError
+from repro.obs import metrics as _obs
 from repro.operators.pauli import PauliTerm, QubitOperator
+
+# observability instruments (no-ops unless `repro.obs` is enabled)
+_M_COMPILES = _obs.counter(
+    "pauli.compiles", "dense observables compiled into flip-mask groups")
+_M_BATCH_TERMS = _obs.histogram(
+    "pauli.compiled_terms", "non-identity terms per compiled observable")
+_M_BATCH_GROUPS = _obs.histogram(
+    "pauli.compiled_mask_groups",
+    "distinct flip-mask groups per compiled observable (the batch size: "
+    "gathers per evaluation)")
+_M_EXPECT = _obs.counter(
+    "pauli.expectations", "batched dense expectation evaluations")
+_M_COMPILE_CACHE = _obs.counter(
+    "pauli.compile_cache",
+    "compiled-observable cache lookups, labelled hit/miss")
 
 #: refuse to compile diagonals beyond this register width (dense memory wall)
 MAX_COMPILED_QUBITS = 26
@@ -129,6 +145,10 @@ class CompiledObservable:
         for xmask, diag in diags.items():
             perm = None if xmask == 0 else np.arange(dim) ^ xmask
             self._groups.append((perm, diag))
+        if _obs.REGISTRY.enabled:
+            _M_COMPILES.inc()
+            _M_BATCH_TERMS.observe(self.n_terms)
+            _M_BATCH_GROUPS.observe(len(self._groups))
 
     @property
     def n_groups(self) -> int:
@@ -148,6 +168,7 @@ class CompiledObservable:
 
     def expectation(self, psi: np.ndarray) -> float:
         """Re <psi| H |psi> in one pass over the mask groups."""
+        _M_EXPECT.inc()
         psi = np.asarray(psi).reshape(-1)
         total = self.constant * np.vdot(psi, psi)
         for perm, diag in self._groups:
@@ -182,10 +203,13 @@ def compile_observable(op: QubitOperator,
     key = observable_cache_key(op, n)
     hit = _CACHE.get(key)
     if hit is None:
+        _M_COMPILE_CACHE.inc(outcome="miss")
         hit = CompiledObservable(op, n)
         if len(_CACHE) >= _CACHE_MAX:
             _CACHE.pop(next(iter(_CACHE)))
         _CACHE[key] = hit
+    else:
+        _M_COMPILE_CACHE.inc(outcome="hit")
     return hit
 
 

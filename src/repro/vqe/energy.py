@@ -23,11 +23,20 @@ from repro.backends import backend_spec, resolve_backend
 from repro.common.errors import ValidationError
 from repro.circuits.circuit import Circuit
 from repro.circuits.gates import Gate, controlled_pauli_gate
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.operators.pauli import PauliTerm, QubitOperator
 from repro.simulators.pauli_kernels import (
     MAX_COMPILED_QUBITS,
     CompiledObservable,
 )
+
+# observability instruments (no-ops unless `repro.obs` is enabled)
+_M_ENERGY_EVALS = _obs.counter(
+    "vqe.energy_evaluations",
+    "energy evaluations, labelled by measurement method")
+_M_ANSATZ_RUNS = _obs.counter(
+    "vqe.ansatz_runs", "ansatz state preparations")
 
 
 def hadamard_test_circuit(term: PauliTerm, n_qubits: int,
@@ -183,6 +192,7 @@ class EnergyEvaluator:
                            n_parameters=0, name=bound.name)
             bound = wide
         sim = self._fresh_sim(width)
+        _M_ANSATZ_RUNS.inc()
         return sim.run(bound)
 
     # -- public API ----------------------------------------------------------------
@@ -190,9 +200,12 @@ class EnergyEvaluator:
     def energy(self, theta: np.ndarray) -> float:
         """<H> at the given parameters (dispatches on the chosen method)."""
         self.evaluations += 1
-        if self.method == "direct":
-            return self._energy_direct(theta)
-        return self._energy_hadamard(theta)
+        _M_ENERGY_EVALS.inc(method=self.method)
+        with _trace.span("vqe.energy", method=self.method,
+                         simulator=self.simulator):
+            if self.method == "direct":
+                return self._energy_direct(theta)
+            return self._energy_hadamard(theta)
 
     __call__ = energy
 

@@ -17,6 +17,8 @@ from repro.backends import backend_spec
 from repro.common.errors import ValidationError
 from repro.circuits.circuit import Circuit
 from repro.circuits.uccsd import UCCSDAnsatz
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.operators.pauli import QubitOperator
 from repro.vqe.energy import EnergyEvaluator
 from repro.vqe.optimizers import (
@@ -26,6 +28,11 @@ from repro.vqe.optimizers import (
     minimize_spsa,
 )
 from repro.vqe.rdm import measure_rdms
+
+# observability instruments (no-ops unless `repro.obs` is enabled)
+_M_RUNS = _obs.counter("vqe.runs", "completed VQE optimizations")
+_M_ITERATIONS = _obs.counter(
+    "vqe.iterations", "optimizer iterations across completed runs")
 
 
 @dataclass
@@ -39,6 +46,9 @@ class VQEResult:
     n_iterations: int = 0
     converged: bool = True
     optimizer: str = ""
+    #: snapshot of the `repro.obs` metric registry taken as the run
+    #: finished (None unless observability was enabled during the run)
+    metrics: dict | None = None
 
     def energy_error(self, reference: float) -> float:
         """Absolute error against a reference (e.g. FCI) energy."""
@@ -123,7 +133,12 @@ class VQE:
                 raise ValidationError(
                     f"need {self.n_parameters} parameters, got {x0.size}"
                 )
-        res = self._dispatch(x0, seed)
+        with _trace.span("vqe.run", optimizer=self.optimizer,
+                         n_parameters=int(self.n_parameters)):
+            res = self._dispatch(x0, seed)
+        if _obs.REGISTRY.enabled:
+            _M_RUNS.inc()
+            _M_ITERATIONS.inc(res.n_iterations)
         return VQEResult(
             energy=float(res.fun),
             parameters=res.x,
@@ -132,6 +147,8 @@ class VQE:
             n_iterations=res.n_iterations,
             converged=res.converged,
             optimizer=self.optimizer,
+            metrics=_obs.REGISTRY.snapshot() if _obs.REGISTRY.enabled
+            else None,
         )
 
     def _dispatch(self, x0: np.ndarray, seed: int | None) -> OptimizationResult:

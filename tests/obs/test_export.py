@@ -1,0 +1,112 @@
+"""Unit tests for the repro.obs/1 export schema (repro.obs.export)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    snapshot,
+    validate_document,
+    write_json,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture()
+def populated():
+    reg = MetricsRegistry()
+    reg.enable()
+    reg.counter("svd", "SVDs").inc(4)
+    reg.histogram("batch").observe(2.0)
+    trc = Tracer()
+    trc.enable()
+    with trc.span("work"):
+        pass
+    return reg, trc
+
+
+class TestSnapshot:
+    def test_shape_and_schema(self, populated):
+        reg, trc = populated
+        doc = snapshot(reg, trc)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["metrics"]["svd"]["values"] == [
+            {"labels": {}, "value": 4}]
+        assert len(doc["spans"]) == 1
+        validate_document(doc)
+
+    def test_spans_auto_excluded_when_none_recorded(self, populated):
+        reg, _ = populated
+        doc = snapshot(reg, Tracer())
+        assert "spans" not in doc
+        validate_document(doc)
+
+    def test_spans_forced_off(self, populated):
+        reg, trc = populated
+        doc = snapshot(reg, trc, include_spans=False)
+        assert "spans" not in doc
+
+
+class TestWriters:
+    def test_write_json_roundtrip(self, tmp_path, populated):
+        reg, trc = populated
+        path = tmp_path / "metrics.json"
+        returned = write_json(str(path), registry=reg, tracer=trc)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == returned
+        validate_document(on_disk)
+
+    def test_write_json_to_file_object(self, populated):
+        reg, trc = populated
+        buf = io.StringIO()
+        write_json(buf, registry=reg, tracer=trc)
+        validate_document(json.loads(buf.getvalue()))
+
+    def test_write_jsonl_header_plus_spans(self, tmp_path, populated):
+        reg, trc = populated
+        path = tmp_path / "metrics.jsonl"
+        n = write_jsonl(str(path), registry=reg, tracer=trc)
+        lines = path.read_text().splitlines()
+        assert n == len(lines) == 2  # header + one span
+        header = json.loads(lines[0])
+        assert header["schema"] == SCHEMA_VERSION
+        assert json.loads(lines[1])["name"] == "work"
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_document({"schema": "nope", "metrics": {}})
+
+    def test_rejects_bad_metric_type(self):
+        doc = {"schema": SCHEMA_VERSION,
+               "metrics": {"m": {"type": "timer", "values": []}}}
+        with pytest.raises(ValueError, match="bad type"):
+            validate_document(doc)
+
+    def test_rejects_slot_without_value(self):
+        doc = {"schema": SCHEMA_VERSION,
+               "metrics": {"m": {"type": "counter",
+                                 "values": [{"labels": {}}]}}}
+        with pytest.raises(ValueError, match="labels/value"):
+            validate_document(doc)
+
+    def test_rejects_incomplete_histogram_summary(self):
+        doc = {"schema": SCHEMA_VERSION,
+               "metrics": {"m": {"type": "histogram",
+                                 "values": [{"labels": {},
+                                             "value": {"count": 1}}]}}}
+        with pytest.raises(ValueError, match="summary missing"):
+            validate_document(doc)
+
+    def test_rejects_span_missing_fields(self):
+        doc = {"schema": SCHEMA_VERSION, "metrics": {},
+               "spans": [{"span_id": 0}]}
+        with pytest.raises(ValueError, match="span missing"):
+            validate_document(doc)

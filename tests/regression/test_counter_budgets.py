@@ -1,0 +1,210 @@
+"""Counter-budget regression suite: exact algorithmic event counts.
+
+Wall-clock benchmarks drift with hardware; the :mod:`repro.obs` counters
+do not - they record *algorithmic* events (SVDs taken, GEMMs issued,
+tasks dispatched), which are pure functions of the workload.  This suite
+pins those counts for two reference workloads (H2 and LiH at theta = 0)
+so a change that silently alters the work performed - an extra
+canonicalization sweep, a broken cache, a lost batching - fails CI even
+when every energy still comes out right.
+
+Budgets were recorded from the current implementation; if an
+*intentional* algorithmic change shifts them, update the tables here and
+say why in the commit message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.circuits.uccsd import UCCSDAnsatz
+from repro.operators.molecular import molecular_qubit_hamiltonian
+from repro.parallel.executor import clear_worker_compiled_cache
+from repro.simulators.mps import routing_plan
+from repro.simulators.mps_measure import clear_measurement_caches
+from repro.simulators.pauli_kernels import clear_observable_cache
+from repro.vqe.energy import EnergyEvaluator
+
+#: one MPS energy evaluation at theta = 0 (a single direct measurement
+#: of the UCCSD reference state); keyed by (molecule, measurement mode)
+MPS_BUDGETS = {
+    ("h2", "sweep"): {
+        "mps.gate_2q": 43,
+        "mps.svd": 43,
+        "mps.swap": 0,
+        "mps.routing_plan.requests": 43,
+        "mps.routing_plan.misses": 3,
+        "mps_measure.env_steps": 21,
+        "mps_measure.gemm_calls": 22,
+    },
+    ("h2", "mpo"): {
+        "mps.gate_2q": 43,
+        "mps.svd": 43,
+        "mps.swap": 0,
+        "mps.routing_plan.requests": 43,
+        "mps.routing_plan.misses": 3,
+        "mps_measure.env_steps": 0,
+        "mps_measure.gemm_calls": 0,
+    },
+    ("h2", "per_term"): {
+        "mps.gate_2q": 43,
+        "mps.svd": 43,
+        "mps.swap": 0,
+        "mps.routing_plan.requests": 43,
+        "mps.routing_plan.misses": 3,
+        "mps_measure.env_steps": 0,
+        "mps_measure.gemm_calls": 0,
+    },
+    ("lih", "sweep"): {
+        "mps.gate_2q": 6769,
+        "mps.svd": 14449,
+        "mps.swap": 7680,
+        "mps.routing_plan.requests": 6769,
+        "mps.routing_plan.misses": 31,
+        "mps_measure.env_steps": 1767,
+        "mps_measure.gemm_calls": 86,
+    },
+    ("lih", "mpo"): {
+        "mps.gate_2q": 6769,
+        "mps.svd": 14449,
+        "mps.swap": 7680,
+        "mps.routing_plan.requests": 6769,
+        "mps.routing_plan.misses": 31,
+        "mps_measure.env_steps": 0,
+        "mps_measure.gemm_calls": 0,
+    },
+}
+
+
+def _hamiltonian_and_ansatz(solved):
+    ham = molecular_qubit_hamiltonian(solved.mo)
+    ansatz = UCCSDAnsatz(solved.mo.n_orbitals,
+                         solved.mo.n_electrons).circuit()
+    return ham, ansatz
+
+
+def _clear_all_caches() -> None:
+    """Pinning cache hit/miss counts needs cold caches every time."""
+    clear_measurement_caches()
+    clear_observable_cache()
+    clear_worker_compiled_cache()
+    routing_plan.cache_clear()
+
+
+def _measured_energy(ham, ansatz, **evaluator_kwargs):
+    """One theta = 0 energy with a scoped, cold-cache collection."""
+    _clear_all_caches()
+    with obs.collect() as reg:
+        evaluator = EnergyEvaluator(ham, ansatz, **evaluator_kwargs)
+        try:
+            energy = evaluator.energy(np.zeros(ansatz.n_parameters))
+        finally:
+            evaluator.close()
+        return energy, reg
+
+
+class TestMPSBudgets:
+    @pytest.mark.parametrize("mode", ["sweep", "mpo", "per_term"])
+    def test_h2(self, h2, mode):
+        ham, ansatz = _hamiltonian_and_ansatz(h2)
+        _, reg = _measured_energy(ham, ansatz, simulator="mps",
+                                  measurement=mode)
+        budget = MPS_BUDGETS[("h2", mode)]
+        got = {name: reg.value(name) for name in budget}
+        assert got == budget
+        assert reg.value("mps_measure.evaluations", path=mode) == 1
+
+    @pytest.mark.parametrize("mode", ["sweep", "mpo"])
+    def test_lih(self, lih, mode):
+        ham, ansatz = _hamiltonian_and_ansatz(lih)
+        _, reg = _measured_energy(ham, ansatz, simulator="mps",
+                                  measurement=mode)
+        budget = MPS_BUDGETS[("lih", mode)]
+        got = {name: reg.value(name) for name in budget}
+        assert got == budget
+        assert reg.value("mps_measure.evaluations", path=mode) == 1
+
+    def test_budgets_identical_across_measurement_modes(self, h2):
+        """State-preparation work must not depend on how we measure."""
+        ham, ansatz = _hamiltonian_and_ansatz(h2)
+        prep = ("mps.gate_2q", "mps.svd", "mps.swap")
+        seen = []
+        for mode in ("sweep", "mpo", "per_term"):
+            _, reg = _measured_energy(ham, ansatz, simulator="mps",
+                                      measurement=mode)
+            seen.append({name: reg.value(name) for name in prep})
+        assert seen[0] == seen[1] == seen[2]
+
+
+class TestParallelBudgets:
+    """Level-2 task counts are worker-count independent by construction."""
+
+    #: H2's Hamiltonian partitions into 8 Pauli groups (DEFAULT_PAULI_GROUPS)
+    H2_GROUPS = 8
+
+    def _run(self, h2, executor, workers):
+        ham, ansatz = _hamiltonian_and_ansatz(h2)
+        return _measured_energy(ham, ansatz, simulator="statevector",
+                                parallel=executor, n_workers=workers)
+
+    @pytest.mark.parametrize("executor,workers",
+                             [("serial", 1), ("thread", 1), ("thread", 2)])
+    def test_task_counts_pinned(self, h2, executor, workers):
+        _, reg = self._run(h2, executor, workers)
+        assert reg.value("parallel.tasks",
+                         level="pauli_groups") == self.H2_GROUPS
+        assert reg.value("parallel.dispatches", level="pauli_groups") == 1
+        assert reg.value("pauli.expectations") == self.H2_GROUPS
+        assert reg.value("pauli.compiles") == self.H2_GROUPS
+
+    def test_counts_and_energy_identical_across_worker_counts(self, h2):
+        runs = {w: self._run(h2, "thread", w) for w in (1, 2)}
+        (e1, r1), (e2, r2) = runs[1], runs[2]
+        # bitwise: the partition and reduction are worker-independent
+        assert e1 == e2
+        for name in ("parallel.tasks", "pauli.expectations",
+                     "pauli.compiles"):
+            lbl = ({"level": "pauli_groups"}
+                   if name == "parallel.tasks" else {})
+            assert r1.value(name, **lbl) == r2.value(name, **lbl)
+
+    def test_worker_task_split_covers_all_groups(self, h2):
+        _, r1 = self._run(h2, "thread", 1)
+        assert r1.value("parallel.worker_tasks", level="pauli_groups",
+                        worker=0) == self.H2_GROUPS
+        _, r2 = self._run(h2, "thread", 2)
+        w0 = r2.value("parallel.worker_tasks",
+                      level="pauli_groups", worker=0)
+        w1 = r2.value("parallel.worker_tasks",
+                      level="pauli_groups", worker=1)
+        assert w0 == w1 == self.H2_GROUPS // 2
+
+
+class TestDMETBudgets:
+    def test_fragment_solves_independent_of_worker_count(self, h4_ring):
+        from repro.dmet.dmet import DMET, atoms_per_fragment
+        from repro.dmet.orthogonalize import (
+            attach_labels,
+            lowdin_orthogonalize,
+        )
+
+        attach_labels(h4_ring.scf, h4_ring.rhf.basis)
+        system = lowdin_orthogonalize(h4_ring.scf, h4_ring.eri_ao)
+        fragments = atoms_per_fragment(system, 2)
+        results = {}
+        for workers in (1, 2):
+            with obs.collect() as reg:
+                dmet = DMET(system, fragments, n_workers=workers,
+                            executor="thread")
+                res = dmet.run()
+                results[workers] = (
+                    res.energy,
+                    reg.value("dmet.fragment_solves"),
+                    reg.value("dmet.mu_iterations"),
+                )
+        assert results[1] == results[2]
+        # 2 fragments per mu evaluation; workers=2 routes them through
+        # the level-1 executor (counter registered on first parallel use)
+        assert results[1][1] == 2 * results[1][2]

@@ -61,6 +61,49 @@ class TestEnergyCommand:
         assert "-1.1166" in capsys.readouterr().out
 
 
+class TestMetricsOut:
+    """--metrics-out writes a valid repro.obs/1 document (smoke test)."""
+
+    def test_vqe_metrics_document(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+        from repro.obs import validate_document
+
+        path = tmp_path / "metrics.json"
+        assert main(["energy", "--molecule", "h2", "--method", "vqe",
+                     "--simulator", "mps", "--metrics-out", str(path)]) == 0
+        assert str(path) in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        validate_document(doc)  # raises on schema violations
+        assert doc["schema"] == "repro.obs/1"
+        assert doc["metrics"]["vqe.runs"]["values"] == [
+            {"labels": {}, "value": 1}]
+        assert "mps.svd" in doc["metrics"]
+        assert "spans" not in doc  # tracing was not requested
+        assert not obs.enabled()  # the flag scope ended with the command
+
+    def test_trace_adds_spans(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_document
+
+        path = tmp_path / "metrics.json"
+        assert main(["energy", "--molecule", "h2", "--method", "vqe",
+                     "--simulator", "fast", "--metrics-out", str(path),
+                     "--trace"]) == 0
+        doc = json.loads(path.read_text())
+        validate_document(doc)
+        names = {span["name"] for span in doc["spans"]}
+        assert "vqe.run" in names
+
+    def test_metrics_written_even_on_failure(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["energy", "--method", "dft",
+                     "--metrics-out", str(path)]) == 1
+        assert path.exists()
+
+
 class TestInfoCommand:
     def test_h2_inventory(self, capsys):
         assert main(["info", "--molecule", "h2"]) == 0

@@ -87,6 +87,39 @@ class TestTimer:
         t.reset()
         assert t.count("a") == 0
 
+    def test_nested_reuse_counts_outer_interval_once(self):
+        # re-entering a running section (recursive solver timing itself)
+        # must not double-count the inner stretch in the total
+        t = Timer()
+        with t.section("a"):
+            with t.section("a"):
+                time.sleep(0.02)
+        assert t.count("a") == 2
+        assert t.total("a") < 0.035  # ~0.02s counted once, not twice
+
+    def test_nested_reuse_leaves_timer_reusable(self):
+        t = Timer()
+        with t.section("a"):
+            with t.section("a"):
+                pass
+        before = t.total("a")
+        with t.section("a"):
+            time.sleep(0.005)
+        assert t.count("a") == 3
+        assert t.total("a") > before  # outermost entries still accumulate
+
+    def test_nested_reuse_survives_exceptions(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t.section("a"):
+                with t.section("a"):
+                    raise RuntimeError("x")
+        # depth unwound: the next entry is outermost again and accumulates
+        with t.section("a"):
+            pass
+        assert t.count("a") == 3
+        assert t._depth["a"] == 0
+
 
 class TestWallClock:
     def test_real_clock_advances(self):
