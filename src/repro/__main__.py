@@ -5,6 +5,7 @@ Commands
 energy      RHF / CCSD / FCI / VQE / DMET energies of a molecule
 scaling     replay the paper's strong/weak scaling (Figs. 12-13)
 info        system inventory: basis functions, qubits, Pauli strings
+bench       run the pinned performance suite; gate vs the baseline ledger
 
 Examples
 --------
@@ -13,6 +14,7 @@ Examples
     python -m repro energy --xyz geom.xyz --method fci
     python -m repro scaling --mode strong
     python -m repro info --molecule h2o
+    python -m repro bench --quick
 """
 
 from __future__ import annotations
@@ -110,6 +112,13 @@ def _run_energy(args) -> int:
     else:
         raise ReproError(f"unknown method {args.method!r}")
     return 0
+
+
+def cmd_bench(args) -> int:
+    """Run the performance-ledger suite (see :mod:`repro.obs.bench`)."""
+    from repro.obs import bench
+
+    return bench.run_cli(args)
 
 
 def cmd_scaling(args) -> int:
@@ -215,7 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--metrics-out", default=None, metavar="PATH",
                     help="enable repro.obs instrumentation and write the "
                          "metric/span snapshot as JSON (schema "
-                         "'repro.obs/1', see docs/OBSERVABILITY.md)")
+                         "'repro.obs/2', see docs/OBSERVABILITY.md)")
     pe.add_argument("--trace", action="store_true",
                     help="also record timing spans (vqe.run, vqe.energy, "
                          "dmet.evaluate, ...) into the --metrics-out "
@@ -232,6 +241,16 @@ def build_parser() -> argparse.ArgumentParser:
     pi = sub.add_parser("info", help="print the system inventory")
     add_molecule_args(pi)
     pi.set_defaults(func=cmd_info)
+
+    pb = sub.add_parser(
+        "bench",
+        help="run the pinned performance suite and write the "
+             "BENCH_<date>.json ledger (schema 'repro.bench/1'), gating "
+             "against the committed BENCH_baseline.json")
+    from repro.obs import bench as _bench
+
+    _bench.add_arguments(pb)
+    pb.set_defaults(func=cmd_bench)
     return parser
 
 

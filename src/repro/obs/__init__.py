@@ -10,8 +10,18 @@ throws away.  This package records them behind a **no-op default**:
   immediately when disabled, so instrumented hot paths cost one branch.
 * :mod:`repro.obs.trace` - ``span("vqe.iteration")`` context managers
   with nesting, wall (``perf_counter``) and CPU (``process_time``) time.
-* :mod:`repro.obs.export` - the documented ``repro.obs/1`` JSON / JSONL
+* :mod:`repro.obs.export` - the documented ``repro.obs/2`` JSON / JSONL
   schema behind ``--metrics-out`` and ``VQEResult.metrics``.
+* :mod:`repro.obs.cost` - roofline-style cost model converting the event
+  counters into modeled flops / bytes per phase.
+* :mod:`repro.obs.bench` - the pinned performance-ledger suite behind
+  ``python -m repro bench`` (schema ``repro.bench/1``).
+
+Worker processes snapshot their local registry/tracer at task completion
+and ship the delta back through the executor reduction path; the parent
+folds it in with the merge-order-invariant
+:meth:`~repro.obs.metrics.MetricsRegistry.merge`, so counter totals are
+identical for serial/thread/process executors at any worker count.
 
 Because counters record algorithmic events (never durations), their
 values are deterministic: ``tests/regression/`` pins exact SVD/GEMM/task
@@ -82,6 +92,20 @@ def value(name: str, default=0, **labels):
     return REGISTRY.value(name, default, **labels)
 
 
+def merge_snapshot(doc: dict, *, worker: int | None = None) -> float:
+    """Fold one exported document into the global registry and tracer.
+
+    ``doc`` is a ``repro.obs/2`` (or ``/1``) document - typically the
+    snapshot a worker process ships back with its task result.  Counters
+    add, gauges are last-write-by-worker-id, histograms combine aggregate
+    fields, and merged spans are re-based into the local id space with
+    ``attrs.worker`` set.  Returns the total counter increment merged.
+    """
+    delta = REGISTRY.merge(doc.get("metrics", {}), worker=worker)
+    TRACER.merge(doc.get("spans", []), worker=worker)
+    return delta
+
+
 @contextmanager
 def collect(trace: bool = False):
     """Scoped collection: reset, enable, yield the registry, restore.
@@ -123,6 +147,7 @@ __all__ = [
     "enabled",
     "gauge",
     "histogram",
+    "merge_snapshot",
     "reset",
     "snapshot",
     "span",

@@ -1,0 +1,372 @@
+"""The performance ledger: a pinned benchmark suite with regression gates.
+
+``python -m repro bench`` runs a fixed set of reference workloads (H2 /
+LiH statevector and MPS-sweep/MPO evaluations, 1/2/4-worker three-level
+dispatches), writes a schema-versioned ``BENCH_<date>.json`` at the
+current directory, and compares it against the committed baseline
+(``BENCH_baseline.json``), exiting nonzero on regression - the
+machine-readable perf trajectory the ROADMAP's "as fast as the hardware
+allows" goal needs to be enforceable.
+
+Every case records three layers per evaluation:
+
+* **wall time** - the warm-cache evaluation, plus ``wall_rel``: wall
+  time divided by a fixed GEMM calibration probe run on the same
+  machine, so the committed baseline survives CI-runner hardware drift
+  (absolute seconds are reported but only the ratio is gated);
+* **counter totals** - the cold-cache :mod:`repro.obs` event counters,
+  which are deterministic functions of the workload and compared
+  *exactly* (integers) or to ``counter_rtol`` (float counters);
+* **modeled cost** - the :mod:`repro.obs.cost` roofline report
+  (modeled flops/bytes, achieved GFLOP/s).
+
+The counters come from a cold-cache instrumented run and the wall time
+from a second, warm run of the same evaluation - so counter budgets stay
+comparable with ``tests/regression`` and timings exclude one-time
+compile/pool-start costs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.obs.cost import cost_report
+
+#: schema tag of the ledger document
+BENCH_SCHEMA = "repro.bench/1"
+
+#: default committed baseline filename (repo root in CI)
+BASELINE_NAME = "BENCH_baseline.json"
+
+#: fraction of wall_rel drift tolerated before the gate trips
+DEFAULT_WALL_THRESHOLD = 0.10
+
+#: relative tolerance on float-valued counters (and energies)
+DEFAULT_COUNTER_RTOL = 1e-6
+
+#: case name -> (molecule, evaluator kwargs); every case is one theta = 0
+#: energy evaluation, cold-cache instrumented then warm-timed
+_CASES: dict[str, tuple[str, dict]] = {
+    "h2_sv_direct": ("h2", {"simulator": "statevector"}),
+    "h2_mps_sweep": ("h2", {"simulator": "mps", "measurement": "sweep"}),
+    "h2_mps_mpo": ("h2", {"simulator": "mps", "measurement": "mpo"}),
+    "h2_threelevel_w1": ("h2", {"simulator": "statevector",
+                                "parallel": "process", "n_workers": 1}),
+    "h2_threelevel_w2": ("h2", {"simulator": "statevector",
+                                "parallel": "process", "n_workers": 2}),
+    "h2_threelevel_w4": ("h2", {"simulator": "statevector",
+                                "parallel": "process", "n_workers": 4}),
+    "lih_mps_sweep": ("lih", {"simulator": "mps", "measurement": "sweep"}),
+    "lih_mps_mpo": ("lih", {"simulator": "mps", "measurement": "mpo"}),
+}
+
+#: the CI-friendly subset (seconds, not minutes, on one core)
+_QUICK_CASES = ("h2_sv_direct", "h2_mps_sweep", "h2_mps_mpo",
+                "h2_threelevel_w1", "h2_threelevel_w2")
+
+# molecule name -> (hamiltonian, ansatz circuit); built once per run
+_SYSTEMS: dict[str, tuple] = {}
+
+
+def _system(molecule: str):
+    """Hamiltonian + UCCSD ansatz for one reference molecule (cached)."""
+    hit = _SYSTEMS.get(molecule)
+    if hit is not None:
+        return hit
+    from repro.chem import geometry, mo as momod
+    from repro.chem.scf import RHF
+    from repro.circuits.uccsd import UCCSDAnsatz
+    from repro.operators.molecular import molecular_qubit_hamiltonian
+
+    geom = {"h2": lambda: geometry.h2(0.7414),
+            "lih": geometry.lih}[molecule]()
+    rhf = RHF(geom, "sto-3g")
+    scf = rhf.run()
+    momod.attach_eri(scf, rhf.engine.eri())
+    mo = momod.from_scf(scf)
+    ham = molecular_qubit_hamiltonian(mo)
+    ansatz = UCCSDAnsatz(mo.n_orbitals, mo.n_electrons).circuit()
+    _SYSTEMS[molecule] = (ham, ansatz)
+    return _SYSTEMS[molecule]
+
+
+def _clear_caches() -> None:
+    """Cold caches: counter totals must match the regression budgets."""
+    from repro.parallel.executor import clear_worker_compiled_cache
+    from repro.simulators.mps import routing_plan
+    from repro.simulators.mps_measure import clear_measurement_caches
+    from repro.simulators.pauli_kernels import clear_observable_cache
+
+    clear_measurement_caches()
+    clear_observable_cache()
+    clear_worker_compiled_cache()
+    routing_plan.cache_clear()
+
+
+def calibration_probe(repeat: int = 5) -> float:
+    """Seconds for a fixed 192x192 complex GEMM (best of ``repeat``).
+
+    The probe normalizes wall times across machines: ``wall_rel =
+    wall_s / calibration_s`` is roughly hardware-independent for the
+    BLAS-bound evaluations the suite times, so a baseline committed from
+    one machine still gates CI runners of a different speed.
+    """
+    rng = np.random.default_rng(12345)
+    a = rng.standard_normal((192, 192)) + 1j * rng.standard_normal((192, 192))
+    b = rng.standard_normal((192, 192)) + 1j * rng.standard_normal((192, 192))
+    (a @ b)  # warm the BLAS dispatch once
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        for _ in range(8):
+            a @ b
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_case(name: str) -> dict:
+    """Run one pinned case; returns its ledger record."""
+    molecule, kwargs = _CASES[name]
+    ham, ansatz = _system(molecule)
+    from repro.vqe.energy import EnergyEvaluator
+
+    theta = np.zeros(ansatz.n_parameters)
+    _clear_caches()
+    evaluator = EnergyEvaluator(ham, ansatz, **kwargs)
+    try:
+        with obs.collect() as reg:
+            energy = evaluator.energy(theta)
+            snap = reg.snapshot()
+        t0 = time.perf_counter()
+        energy_warm = evaluator.energy(theta)
+        wall_s = time.perf_counter() - t0
+    finally:
+        evaluator.close()
+    if abs(energy_warm - energy) > 1e-12:
+        raise AssertionError(
+            f"{name}: warm re-evaluation drifted "
+            f"({energy_warm!r} vs {energy!r})"
+        )
+    counters = {
+        metric: float(sum(slot["value"] for slot in inst["values"]))
+        for metric, inst in snap.items() if inst["type"] == "counter"
+    }
+    return {
+        "molecule": molecule,
+        "energy": energy,
+        "wall_s": wall_s,
+        "counters": counters,
+        "cost": cost_report(snap, wall_s=wall_s),
+    }
+
+
+def run_suite(quick: bool = False, cases: list[str] | None = None) -> dict:
+    """Run the pinned suite; returns the ledger document."""
+    if cases is None:
+        cases = list(_QUICK_CASES) if quick else list(_CASES)
+    unknown = [c for c in cases if c not in _CASES]
+    if unknown:
+        raise ValueError(f"unknown bench cases {unknown}; "
+                         f"known: {sorted(_CASES)}")
+    calibration_s = calibration_probe()
+    doc: dict = {
+        "schema": BENCH_SCHEMA,
+        "date": datetime.date.today().isoformat(),
+        "quick": bool(quick),
+        "calibration_s": calibration_s,
+        "cases": {},
+    }
+    for name in cases:
+        record = run_case(name)
+        record["wall_rel"] = record["wall_s"] / calibration_s
+        doc["cases"][name] = record
+    return doc
+
+
+def write_ledger(doc: dict, path: str | Path) -> Path:
+    """Write one ledger document (validated first); returns the path."""
+    validate_ledger(doc)
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def validate_ledger(doc: dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed ledger."""
+    if not isinstance(doc, dict):
+        raise ValueError("ledger must be a JSON object")
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unknown ledger schema {doc.get('schema')!r}; "
+            f"expected {BENCH_SCHEMA}"
+        )
+    cases = doc.get("cases")
+    if not isinstance(cases, dict) or not cases:
+        raise ValueError("'cases' must be a non-empty object")
+    for name, record in cases.items():
+        for field in ("energy", "wall_s", "counters", "cost"):
+            if field not in record:
+                raise ValueError(f"case {name!r} missing field {field!r}")
+        if not isinstance(record["counters"], dict):
+            raise ValueError(f"case {name!r} counters must be an object")
+        for metric, value in record["counters"].items():
+            if not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"case {name!r} counter {metric!r} is not a number"
+                )
+        if record["cost"].get("schema") != "repro.cost/1":
+            raise ValueError(f"case {name!r} has a malformed cost report")
+
+
+def compare_ledgers(current: dict, baseline: dict, *,
+                    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+                    counter_rtol: float = DEFAULT_COUNTER_RTOL,
+                    check_wall: bool = True) -> list[str]:
+    """Regressions of ``current`` against ``baseline`` (empty = clean).
+
+    Counter totals are pure functions of the workload: integer-valued
+    baselines must match exactly, float-valued ones to ``counter_rtol``
+    (energies likewise).  Wall time is gated on ``wall_rel`` (the
+    calibration-normalized ratio) when both documents carry it, raw
+    ``wall_s`` otherwise, tripping beyond ``wall_threshold``.
+    """
+    problems: list[str] = []
+    for name, base in baseline.get("cases", {}).items():
+        cur = current.get("cases", {}).get(name)
+        if cur is None:
+            if current.get("quick") and not baseline.get("quick"):
+                continue  # quick run vs full baseline: gate the subset
+            problems.append(f"{name}: case missing from current run")
+            continue
+        for metric, expect in base.get("counters", {}).items():
+            got = cur.get("counters", {}).get(metric)
+            if got is None:
+                problems.append(f"{name}: counter {metric} disappeared "
+                                f"(baseline {expect})")
+            elif float(expect).is_integer():
+                if got != expect:
+                    problems.append(
+                        f"{name}: counter {metric} changed "
+                        f"{expect:g} -> {got:g}")
+            elif not np.isclose(got, expect, rtol=counter_rtol, atol=0.0):
+                problems.append(
+                    f"{name}: counter {metric} drifted "
+                    f"{expect:g} -> {got:g} (rtol {counter_rtol:g})")
+        if not np.isclose(cur["energy"], base["energy"],
+                          rtol=counter_rtol, atol=1e-12):
+            problems.append(
+                f"{name}: energy drifted {base['energy']!r} -> "
+                f"{cur['energy']!r}")
+        if check_wall:
+            key = ("wall_rel" if "wall_rel" in base and "wall_rel" in cur
+                   else "wall_s")
+            allowed = base[key] * (1.0 + wall_threshold)
+            if cur[key] > allowed:
+                problems.append(
+                    f"{name}: {key} regressed {base[key]:.3f} -> "
+                    f"{cur[key]:.3f} (> +{wall_threshold:.0%})")
+    return problems
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the bench flags to ``parser`` (shared with ``-m repro``)."""
+    parser.add_argument("--quick", action="store_true",
+                        help="CI subset (H2 cases only)")
+    parser.add_argument("--case", action="append", dest="cases",
+                        metavar="NAME",
+                        help=f"run one named case (repeatable); "
+                             f"known: {', '.join(sorted(_CASES))}")
+    parser.add_argument("--out", default=None,
+                        help="ledger output path (default: "
+                             "./BENCH_<date>.json)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline ledger to gate against (default: "
+                             f"./{BASELINE_NAME} when present)")
+    parser.add_argument("--wall-threshold", type=float,
+                        default=DEFAULT_WALL_THRESHOLD,
+                        help="tolerated fractional wall_rel drift "
+                             "(default 0.10)")
+    parser.add_argument("--no-wall-check", action="store_true",
+                        help="gate on counters/energies only")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help=f"also (re)write ./{BASELINE_NAME}")
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    """Run the suite + gate for one parsed flag namespace."""
+    doc = run_suite(quick=args.quick, cases=args.cases)
+    out = Path(args.out) if args.out else \
+        Path.cwd() / f"BENCH_{doc['date']}.json"
+    write_ledger(doc, out)
+    print(f"wrote {out} ({len(doc['cases'])} cases, "
+          f"calibration {doc['calibration_s'] * 1e3:.2f} ms)")
+    for name, record in doc["cases"].items():
+        cost = record["cost"]
+        gflops = cost.get("achieved_gflops", 0.0)
+        print(f"  {name:<20} wall {record['wall_s'] * 1e3:8.2f} ms  "
+              f"rel {record['wall_rel']:8.2f}  "
+              f"modeled {cost['totals']['flops'] / 1e6:9.2f} Mflop  "
+              f"achieved {gflops:6.2f} GF/s")
+    if args.write_baseline:
+        base_path = Path.cwd() / BASELINE_NAME
+        write_ledger(doc, base_path)
+        print(f"wrote {base_path}")
+
+    baseline_path = Path(args.baseline) if args.baseline else \
+        Path.cwd() / BASELINE_NAME
+    if not baseline_path.exists():
+        if args.baseline:
+            print(f"baseline {baseline_path} not found")
+            return 1
+        print(f"no {BASELINE_NAME} present; skipping the regression gate")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    validate_ledger(baseline)
+    problems = compare_ledgers(doc, baseline,
+                               wall_threshold=args.wall_threshold,
+                               check_wall=not args.no_wall_check)
+    if problems:
+        print(f"PERF REGRESSION vs {baseline_path}:")
+        for p in problems:
+            print(f"  - {p}")
+        return 2
+    print(f"no regressions vs {baseline_path}")
+    return 0
+
+
+def cli(argv: list[str] | None = None) -> int:
+    """Standalone ``python -m repro.obs.bench`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="run the pinned performance suite and gate against "
+                    "the committed baseline ledger")
+    add_arguments(parser)
+    return run_cli(parser.parse_args(argv))
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BASELINE_NAME",
+    "add_arguments",
+    "calibration_probe",
+    "cli",
+    "compare_ledgers",
+    "run_case",
+    "run_cli",
+    "run_suite",
+    "validate_ledger",
+    "write_ledger",
+]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(cli())

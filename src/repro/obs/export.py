@@ -1,13 +1,13 @@
 """JSON / JSONL export of the observability state.
 
-The documented schema (``repro.obs/1``) is what ``--metrics-out`` writes,
+The documented schema (``repro.obs/2``) is what ``--metrics-out`` writes,
 what ``VQEResult.metrics`` carries, and what the CI regression job uploads
 as an artifact:
 
 .. code-block:: json
 
     {
-      "schema": "repro.obs/1",
+      "schema": "repro.obs/2",
       "metrics": {
         "mps.svd": {
           "type": "counter",
@@ -29,6 +29,16 @@ number; histogram ``value`` is a ``{count, sum, min, max}`` summary.
 ``spans`` is present only when tracing is on.  The JSONL exporter writes
 one span object per line after a single header line carrying the metrics -
 the streaming-friendly form for long traces.
+
+``repro.obs/2`` (this revision) is structurally identical to ``/1`` but
+documents cross-process semantics: metric snapshots may be the result of
+:meth:`~repro.obs.metrics.MetricsRegistry.merge` folds of worker-process
+deltas (counters add, gauges last-write-by-worker-id, histograms combine
+aggregate fields), per-worker provenance appears in the built-in
+``obs.merges{worker}`` / ``obs.merged_events{worker}`` counters, and
+merged spans carry ``attrs.worker``.  :func:`validate_document` accepts
+both revisions, plus ``repro.bench/1`` performance-ledger documents
+(dispatched to :func:`repro.obs.bench.validate_ledger`).
 """
 
 from __future__ import annotations
@@ -40,7 +50,10 @@ from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.trace import TRACER, Tracer
 
 #: bumped when the exported structure changes shape
-SCHEMA_VERSION = "repro.obs/1"
+SCHEMA_VERSION = "repro.obs/2"
+
+#: revisions validate_document still accepts (documents from older runs)
+_ACCEPTED_VERSIONS = ("repro.obs/1", "repro.obs/2")
 
 
 def snapshot(registry: MetricsRegistry | None = None,
@@ -111,9 +124,15 @@ def validate_document(doc: dict) -> None:
     """
     if not isinstance(doc, dict):
         raise ValueError("metrics document must be a JSON object")
-    if doc.get("schema") != SCHEMA_VERSION:
+    schema = doc.get("schema")
+    if schema == "repro.bench/1":
+        from repro.obs.bench import validate_ledger
+        validate_ledger(doc)
+        return
+    if schema not in _ACCEPTED_VERSIONS:
         raise ValueError(
-            f"unknown schema {doc.get('schema')!r}; expected {SCHEMA_VERSION}"
+            f"unknown schema {schema!r}; expected one of "
+            f"{_ACCEPTED_VERSIONS} or 'repro.bench/1'"
         )
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):

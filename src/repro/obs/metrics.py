@@ -164,6 +164,45 @@ class Histogram(Instrument):
                 if value > slot["max"]:
                     slot["max"] = value
 
+    def observe_many(self, values, **labels) -> None:
+        """Fold a batch of observations in one lock/lookup round trip.
+
+        Bitwise-equivalent to calling :meth:`observe` once per value in
+        order (the sum is folded left-to-right from the existing slot), but
+        pays the label canonicalization, dict lookup and lock acquisition
+        once per batch instead of once per event - the executor dispatch
+        sites observe whole chunk layouts through this path.
+        """
+        reg = self._registry
+        if not reg.enabled:
+            return
+        values = list(values)
+        if not values:
+            return
+        key = _label_key(labels)
+        with reg._lock:
+            slot = self._values.get(key)
+            if slot is None:
+                # match observe(): the first value seeds the summary
+                slot = {"count": 1, "sum": values[0],
+                        "min": values[0], "max": values[0]}
+                self._values[key] = slot
+                rest = values[1:]
+            else:
+                rest = values
+            acc = slot["sum"]
+            lo, hi = slot["min"], slot["max"]
+            for v in rest:
+                acc += v
+                if v < lo:
+                    lo = v
+                if v > hi:
+                    hi = v
+            slot["count"] += len(rest)
+            slot["sum"] = acc
+            slot["min"] = lo
+            slot["max"] = hi
+
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
@@ -181,6 +220,9 @@ class MetricsRegistry:
         self.enabled = False
         self._lock = threading.Lock()
         self._instruments: dict[str, Instrument] = {}
+        #: (name, label key) -> worker id of the last merged gauge write;
+        #: maintained only by :meth:`merge` (last-write-by-worker-id)
+        self._gauge_provenance: dict[tuple, int] = {}
 
     # -- instrument creation ---------------------------------------------------
 
@@ -228,6 +270,102 @@ class MetricsRegistry:
         with self._lock:
             for inst in self._instruments.values():
                 inst._reset()
+            self._gauge_provenance.clear()
+
+    # -- cross-process merging ---------------------------------------------------
+
+    def merge(self, metrics, *, worker: int | None = None) -> float:
+        """Fold another registry's values into this one, deterministically.
+
+        ``metrics`` is a :class:`MetricsRegistry` or a metrics snapshot
+        mapping (``{name: instrument snapshot}``, the shape
+        :meth:`snapshot` produces and worker processes ship back through
+        the executor reduction path).  Merge semantics are
+        **merge-order invariant** so the parent's totals do not depend on
+        which worker's delta lands first:
+
+        * **counters add** - totals equal the serial run's for any worker
+          count (extends the bitwise-determinism guarantee to telemetry);
+        * **gauges are last-write-by-worker-id** - among merged snapshots
+          the write from the highest ``worker`` id wins (tracked per slot
+          in ``_gauge_provenance``); an unattributed merge
+          (``worker=None``) plainly overwrites;
+        * **histograms combine aggregate fields** - counts and sums add,
+          mins/maxes extremize.
+
+        When ``worker`` is given the merge is also recorded in two
+        built-in per-worker counters - ``obs.merges{worker=w}`` (snapshots
+        merged) and ``obs.merged_events{worker=w}`` (counter increments
+        merged) - which make per-worker load imbalance visible without
+        disturbing the merged totals of any other metric.
+
+        Values are written directly (bypassing the ``enabled`` flag): a
+        merge is deterministic bookkeeping of already-recorded data, not a
+        hot-path event.  Returns the total counter increment merged.
+        """
+        if isinstance(metrics, MetricsRegistry):
+            metrics = metrics.snapshot()
+        counter_delta = 0.0
+        with self._lock:
+            for name in sorted(metrics):
+                snap = metrics[name]
+                kind = snap.get("type")
+                if kind not in _KINDS:
+                    raise ValidationError(
+                        f"cannot merge metric {name!r} of kind {kind!r}"
+                    )
+                inst = self._instruments.get(name)
+                if inst is None:
+                    inst = _KINDS[kind](name, snap.get("description", ""),
+                                        snap.get("unit", "1"), self)
+                    self._instruments[name] = inst
+                elif inst.kind != kind:
+                    raise ValidationError(
+                        f"metric {name!r} is a {inst.kind} here but a "
+                        f"{kind} in the merged snapshot"
+                    )
+                for slot in snap.get("values", ()):
+                    key = _label_key(dict(slot.get("labels") or {}))
+                    value = slot["value"]
+                    if kind == "counter":
+                        inst._values[key] = inst._values.get(key, 0) + value
+                        counter_delta += value
+                    elif kind == "gauge":
+                        pkey = (name, key)
+                        prev = self._gauge_provenance.get(pkey)
+                        if worker is None:
+                            inst._values[key] = value
+                        elif prev is None or worker >= prev:
+                            inst._values[key] = value
+                            self._gauge_provenance[pkey] = worker
+                    else:  # histogram
+                        cur = inst._values.get(key)
+                        if cur is None:
+                            inst._values[key] = {
+                                "count": value["count"], "sum": value["sum"],
+                                "min": value["min"], "max": value["max"],
+                            }
+                        else:
+                            cur["count"] += value["count"]
+                            cur["sum"] += value["sum"]
+                            if value["min"] < cur["min"]:
+                                cur["min"] = value["min"]
+                            if value["max"] > cur["max"]:
+                                cur["max"] = value["max"]
+            if worker is not None:
+                wkey = _label_key({"worker": int(worker)})
+                merges = self._make(
+                    "counter", "obs.merges",
+                    "worker metric snapshots merged, labelled by worker "
+                    "slot", "1")
+                merges._values[wkey] = merges._values.get(wkey, 0) + 1
+                events = self._make(
+                    "counter", "obs.merged_events",
+                    "counter increments merged from worker snapshots, "
+                    "labelled by worker slot", "1")
+                events._values[wkey] = \
+                    events._values.get(wkey, 0) + counter_delta
+        return counter_delta
 
     # -- reading ---------------------------------------------------------------
 

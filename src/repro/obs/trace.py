@@ -127,6 +127,46 @@ class Tracer:
             with self._lock:
                 self.spans.append(rec)
 
+    # -- cross-process merging -------------------------------------------------
+
+    def merge(self, spans: list[dict], *, worker: int | None = None) -> int:
+        """Append another tracer's snapshot, re-based into this id space.
+
+        ``spans`` is the list :meth:`snapshot` produces (what a worker
+        process ships back with its task result).  Each incoming span id
+        (and parent id) is offset by this tracer's current ``_next_id`` so
+        merged subtrees keep their internal structure without colliding
+        with locally recorded spans, and ``attrs["worker"]`` tags every
+        merged span with the worker slot when given.  Works while
+        disabled: merging is bookkeeping of already-recorded data.
+        Returns the number of spans merged.
+        """
+        if not spans:
+            return 0
+        with self._lock:
+            offset = self._next_id
+            top = 0
+            for rec in spans:
+                attrs = dict(rec.get("attrs") or {})
+                if worker is not None:
+                    attrs["worker"] = int(worker)
+                parent = rec.get("parent_id")
+                self.spans.append(SpanRecord(
+                    span_id=rec["span_id"] + offset,
+                    parent_id=None if parent is None else parent + offset,
+                    name=rec["name"],
+                    depth=rec["depth"],
+                    start_s=rec.get("start_s", 0.0),
+                    wall_s=rec["wall_s"],
+                    cpu_s=rec["cpu_s"],
+                    thread=rec.get("thread", "worker"),
+                    attrs=attrs,
+                ))
+                if rec["span_id"] >= top:
+                    top = rec["span_id"] + 1
+            self._next_id = offset + top
+        return len(spans)
+
     # -- reading ---------------------------------------------------------------
 
     def snapshot(self) -> list[dict]:

@@ -37,6 +37,7 @@ import numpy as np
 from repro.common.errors import ValidationError
 from repro.common.reductions import kahan_sum
 from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.operators.pauli import PauliTerm, QubitOperator
 from repro.parallel.scheduler import chunk_round_robin
 
@@ -53,14 +54,94 @@ _M_WORKER_TASKS = _obs.counter(
 _M_REDUCTION = _obs.histogram(
     "parallel.reduction_size",
     "partials folded per deterministic (Kahan) reduction")
+_M_CHUNK_SIZES = _obs.histogram(
+    "parallel.chunk_sizes",
+    "round-robin chunk sizes per dispatch, labelled by level")
 
 
 def _record_worker_chunks(chunks: Iterable[Sequence], level: str) -> None:
     """Mirror a round-robin chunking into per-worker task counters."""
     if not _obs.REGISTRY.enabled:
         return
+    sizes = []
     for worker, idxs in enumerate(chunks):
         _M_WORKER_TASKS.inc(len(idxs), level=level, worker=worker)
+        sizes.append(len(idxs))
+    _M_CHUNK_SIZES.observe_many(sizes, level=level)
+
+
+# -- worker-side observability protocol ---------------------------------------
+
+#: set once this process acts as a pool worker with recording on; lets
+#: :func:`clear_worker_compiled_cache` reset worker obs state without ever
+#: touching a parent registry (where the flag stays False)
+_WORKER_OBS = {"active": False}
+
+
+def _obs_directive(worker: int | None = None):
+    """Per-task instruction telling a worker how to record telemetry.
+
+    ``None`` when the parent registry is disabled - the worker goes quiet
+    and drops any fork-inherited state - otherwise ``(worker_slot,
+    trace_flag)``.  Worker slots are deterministic round-robin chunk
+    indices, never PIDs, so merged labels are reproducible run-to-run.
+    """
+    if not _obs.REGISTRY.enabled:
+        return None
+    return (worker, _trace.TRACER.enabled)
+
+
+def _worker_obs_begin(directive) -> None:
+    """Worker-side: reset local obs state per the parent's directive.
+
+    Fork-started workers inherit the parent's registry *values* and
+    enabled flag as of pool creation; both can be stale by the time a task
+    runs (the lifecycle bug this protocol fixes).  Every task therefore
+    carries a directive: ``None`` means "be quiet" (disable and drop any
+    inherited values), a tuple means "record fresh from zero".
+    """
+    if directive is None:
+        if _obs.REGISTRY.enabled or _trace.TRACER.enabled:
+            _obs.REGISTRY.disable()
+            _trace.TRACER.disable()
+            _obs.REGISTRY.reset()
+            _trace.TRACER.reset()
+        return
+    _WORKER_OBS["active"] = True
+    _obs.REGISTRY.reset()
+    _trace.TRACER.reset()
+    _obs.REGISTRY.enable()
+    if directive[1]:
+        _trace.TRACER.enable()
+    else:
+        _trace.TRACER.disable()
+
+
+def _worker_obs_finish(directive):
+    """Worker-side: snapshot the task's telemetry delta and go quiet.
+
+    Returns the export document to ship back with the task result, or
+    None when the directive asked for no recording.  The local registry
+    is reset afterwards so pool reuse never double-ships events.
+    """
+    if directive is None:
+        return None
+    from repro.obs import export as _export
+
+    doc = _export.snapshot()
+    _obs.REGISTRY.disable()
+    _trace.TRACER.disable()
+    _obs.REGISTRY.reset()
+    _trace.TRACER.reset()
+    return doc
+
+
+def _merge_worker_payload(doc, worker: int | None) -> None:
+    """Parent-side: fold one worker's telemetry delta into the registry."""
+    if doc is None:
+        return
+    _obs.REGISTRY.merge(doc.get("metrics", {}), worker=worker)
+    _trace.TRACER.merge(doc.get("spans", []), worker=worker)
 
 #: default number of Pauli-group batches per Hamiltonian.  Fixed (rather
 #: than "one per worker") so the partition - and therefore every partial
@@ -370,9 +451,18 @@ def clear_worker_compiled_cache() -> None:
     """Drop this process's compiled-group cache (tests / memory pressure).
 
     Worker processes of a live pool keep their own copies; those empty
-    naturally when the pool is closed.
+    naturally when the pool is closed.  In a process that has acted as a
+    recording pool worker this also disables and resets the local obs
+    registry/tracer, so no stale telemetry survives into the next run; in
+    a parent process (``_WORKER_OBS`` flag unset) obs state is untouched.
     """
     _WORKER_COMPILED.clear()
+    if _WORKER_OBS["active"]:
+        _obs.REGISTRY.disable()
+        _trace.TRACER.disable()
+        _obs.REGISTRY.reset()
+        _trace.TRACER.reset()
+        _WORKER_OBS["active"] = False
 
 
 def _compiled_for_payload(key: tuple, payload: GroupPayload, n_qubits: int):
@@ -388,21 +478,29 @@ def _compiled_for_payload(key: tuple, payload: GroupPayload, n_qubits: int):
     return hit
 
 
-def _group_expectation_task(task: tuple) -> list[tuple[int, float]]:
+def _group_expectation_task(task: tuple):
     """Worker entry point: evaluate a chunk of groups against shared state.
 
-    ``task`` is ``(handle, n_qubits, chunk)`` with ``chunk`` a list of
-    ``(group_index, cache_key, payload)``.  Returns ``(group_index,
-    partial)`` pairs; the parent reduces them in fixed group order.
+    ``task`` is ``(handle, n_qubits, chunk, directive)`` with ``chunk`` a
+    list of ``(group_index, cache_key, payload)`` and ``directive`` the
+    per-task obs instruction (see :func:`_obs_directive`; legacy 3-tuples
+    mean "no recording").  Returns ``(pairs, obs_doc)``: the
+    ``(group_index, partial)`` pairs the parent reduces in fixed group
+    order, plus this task's telemetry delta (None when not recording).
     """
-    handle, n_qubits, chunk = task
+    if len(task) == 4:
+        handle, n_qubits, chunk, directive = task
+    else:
+        handle, n_qubits, chunk = task
+        directive = None
+    _worker_obs_begin(directive)
     psi, seg = _attach_shared(handle)
     try:
         out = []
         for gidx, key, payload in chunk:
             compiled = _compiled_for_payload(key, payload, n_qubits)
             out.append((gidx, compiled.expectation(psi)))
-        return out
+        return out, _worker_obs_finish(directive)
     finally:
         seg.close()
 
@@ -607,11 +705,16 @@ class GroupedObservable:
         with SharedStatevector(psi) as shared:
             tasks = [
                 (shared.handle, self.n_qubits,
-                 [(i, self._keys[i], self.payloads[i]) for i in idxs])
-                for idxs in chunks
+                 [(i, self._keys[i], self.payloads[i]) for i in idxs],
+                 _obs_directive(worker))
+                for worker, idxs in enumerate(chunks)
             ]
             results = executor.map(_group_expectation_task, tasks)
-        return _ordered_partials(results, len(self.payloads))
+        pair_chunks = []
+        for worker, (pairs, doc) in enumerate(results):
+            _merge_worker_payload(doc, worker)
+            pair_chunks.append(pairs)
+        return _ordered_partials(pair_chunks, len(self.payloads))
 
 
 def _ordered_partials(results: Iterable, n_groups: int) -> list[float]:

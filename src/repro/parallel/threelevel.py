@@ -31,8 +31,14 @@ from repro.parallel.comm import SimCluster, CommStats
 from repro.parallel.executor import (
     ExecutorCounters,
     GroupedObservable,
+    _merge_worker_payload,
+    _obs_directive,
+    _record_worker_chunks,
+    _worker_obs_begin,
+    _worker_obs_finish,
     resolve_executor,
 )
+from repro.parallel.scheduler import chunk_round_robin
 
 # observability instruments (no-ops unless `repro.obs` is enabled)
 _M_FRAG_TASKS = _obs.counter(
@@ -157,7 +163,20 @@ class ThreeLevelDriver:
 
 
 def _solve_fragment(task: tuple) -> object:
-    """Top-level (picklable) fragment-solve entry point for worker pools."""
+    """Top-level (picklable) fragment-solve entry point for worker pools.
+
+    A 3-tuple ``(solver, problem, mu)`` returns the solution directly
+    (in-process executors, where the parent registry already sees every
+    event).  A 4-tuple adds an obs directive (see
+    :func:`repro.parallel.executor._obs_directive`) and returns
+    ``(solution, obs_doc)`` so process workers ship their telemetry delta
+    back with the result.
+    """
+    if len(task) == 4:
+        solver, problem, mu, directive = task
+        _worker_obs_begin(directive)
+        solution = solver.solve(problem, mu)
+        return solution, _worker_obs_finish(directive)
     solver, problem, mu = task
     return solver.solve(problem, mu)
 
@@ -216,9 +235,26 @@ class ThreeLevelEngine:
             )
         t0 = time.perf_counter()
         tasks = [(solver, p, mu) for p in problems]
+        workers = max(1, self.executor.workers)
+        _record_worker_chunks(chunk_round_robin(len(tasks), workers),
+                              "fragments")
         with _trace.span("parallel.run_fragments", n_tasks=len(tasks),
                          executor=self.executor.name):
-            out = self.executor.map(_solve_fragment, tasks)
+            if self.executor.in_process:
+                out = self.executor.map(_solve_fragment, tasks)
+            else:
+                # process workers: ship an obs directive per task (worker
+                # slot = deterministic round-robin index) and merge each
+                # returned telemetry delta into the parent registry
+                obs_tasks = [
+                    (solver, p, mu, _obs_directive(i % workers))
+                    for i, (solver, p, mu) in enumerate(tasks)
+                ]
+                out = []
+                for i, (solution, doc) in enumerate(
+                        self.executor.map(_solve_fragment, obs_tasks)):
+                    _merge_worker_payload(doc, i % workers)
+                    out.append(solution)
         self.counters.record("fragments", time.perf_counter() - t0,
                              len(tasks))
         if _obs.REGISTRY.enabled:

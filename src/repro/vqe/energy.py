@@ -37,6 +37,10 @@ _M_ENERGY_EVALS = _obs.counter(
     "energy evaluations, labelled by measurement method")
 _M_ANSATZ_RUNS = _obs.counter(
     "vqe.ansatz_runs", "ansatz state preparations")
+_M_PARALLEL_EVALS = _obs.counter(
+    "vqe.parallel_evaluations",
+    "direct evaluations routed through the level-2 executor, labelled "
+    "by executor backend")
 
 
 def hadamard_test_circuit(term: PauliTerm, n_qubits: int,
@@ -254,6 +258,7 @@ class EnergyEvaluator:
         if (self.parallel is not None
                 and getattr(sim, "natively_dense", False)):
             grouped, executor, counters = self._parallel_engine()
+            _M_PARALLEL_EVALS.inc(executor=executor.name)
             return grouped.expectation(sim.statevector(),
                                        executor=executor,
                                        counters=counters)

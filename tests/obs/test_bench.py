@@ -1,0 +1,172 @@
+"""Unit tests for the performance ledger (repro.obs.bench)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    compare_ledgers,
+    run_case,
+    validate_ledger,
+    write_ledger,
+)
+
+
+def _ledger(quick: bool = False) -> dict:
+    """A small synthetic but schema-complete ledger document."""
+    cost = {"schema": "repro.cost/1", "phases": {},
+            "totals": {"flops": 1.0e6, "bytes": 2.0e6}}
+    return {
+        "schema": BENCH_SCHEMA,
+        "date": "2026-08-05",
+        "quick": quick,
+        "calibration_s": 0.001,
+        "cases": {
+            "h2_sv_direct": {
+                "molecule": "h2",
+                "energy": -1.116758,
+                "wall_s": 0.010,
+                "wall_rel": 10.0,
+                "counters": {"pauli.expectations": 8,
+                             "mps.truncation_weight": 1.25e-9},
+                "cost": copy.deepcopy(cost),
+            },
+            "lih_mps_sweep": {
+                "molecule": "lih",
+                "energy": -7.862,
+                "wall_s": 0.200,
+                "wall_rel": 200.0,
+                "counters": {"mps.svd": 42},
+                "cost": copy.deepcopy(cost),
+            },
+        },
+    }
+
+
+class TestValidateLedger:
+    def test_accepts_well_formed_document(self):
+        validate_ledger(_ledger())
+
+    def test_rejects_wrong_schema(self):
+        doc = _ledger()
+        doc["schema"] = "repro.bench/0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_ledger(doc)
+
+    def test_rejects_empty_cases(self):
+        doc = _ledger()
+        doc["cases"] = {}
+        with pytest.raises(ValueError, match="cases"):
+            validate_ledger(doc)
+
+    @pytest.mark.parametrize("field", ["energy", "wall_s", "counters",
+                                       "cost"])
+    def test_rejects_missing_case_field(self, field):
+        doc = _ledger()
+        doc["cases"]["h2_sv_direct"].pop(field)
+        with pytest.raises(ValueError, match=field):
+            validate_ledger(doc)
+
+    def test_rejects_non_numeric_counter(self):
+        doc = _ledger()
+        doc["cases"]["h2_sv_direct"]["counters"]["pauli.expectations"] = "8"
+        with pytest.raises(ValueError, match="not a number"):
+            validate_ledger(doc)
+
+    def test_rejects_malformed_cost_report(self):
+        doc = _ledger()
+        doc["cases"]["h2_sv_direct"]["cost"] = {"schema": "nope"}
+        with pytest.raises(ValueError, match="cost"):
+            validate_ledger(doc)
+
+    def test_write_ledger_validates_and_roundtrips(self, tmp_path):
+        path = write_ledger(_ledger(), tmp_path / "BENCH_test.json")
+        on_disk = json.loads(path.read_text())
+        validate_ledger(on_disk)
+        assert on_disk == _ledger()
+
+
+class TestCompareLedgers:
+    def test_identical_ledgers_are_clean(self):
+        assert compare_ledgers(_ledger(), _ledger()) == []
+
+    def test_integer_counter_drift_is_exact(self):
+        cur = _ledger()
+        cur["cases"]["lih_mps_sweep"]["counters"]["mps.svd"] = 43
+        problems = compare_ledgers(cur, _ledger())
+        assert any("mps.svd" in p and "42" in p for p in problems)
+
+    def test_float_counter_within_rtol_passes(self):
+        cur = _ledger()
+        counters = cur["cases"]["h2_sv_direct"]["counters"]
+        counters["mps.truncation_weight"] *= 1.0 + 1e-9
+        assert compare_ledgers(cur, _ledger()) == []
+        counters["mps.truncation_weight"] *= 1.01
+        assert compare_ledgers(cur, _ledger()) != []
+
+    def test_missing_counter_is_flagged(self):
+        cur = _ledger()
+        del cur["cases"]["lih_mps_sweep"]["counters"]["mps.svd"]
+        problems = compare_ledgers(cur, _ledger())
+        assert any("disappeared" in p for p in problems)
+
+    def test_energy_drift_is_flagged(self):
+        cur = _ledger()
+        cur["cases"]["h2_sv_direct"]["energy"] += 1e-3
+        problems = compare_ledgers(cur, _ledger())
+        assert any("energy drifted" in p for p in problems)
+
+    def test_wall_regression_gated_on_wall_rel(self):
+        cur = _ledger()
+        cur["cases"]["h2_sv_direct"]["wall_rel"] *= 1.25
+        problems = compare_ledgers(cur, _ledger())
+        assert any("wall_rel regressed" in p for p in problems)
+        # a higher threshold lets the same drift through
+        assert compare_ledgers(cur, _ledger(), wall_threshold=0.5) == []
+        # and the wall gate can be switched off entirely
+        assert compare_ledgers(cur, _ledger(), check_wall=False) == []
+
+    def test_wall_gate_falls_back_to_wall_s(self):
+        base = _ledger()
+        del base["cases"]["h2_sv_direct"]["wall_rel"]
+        cur = copy.deepcopy(base)
+        cur["cases"]["h2_sv_direct"]["wall_s"] *= 2.0
+        cur["cases"]["h2_sv_direct"]["wall_rel"] = 10.0  # ignored: not in base
+        problems = compare_ledgers(cur, base)
+        assert any("wall_s regressed" in p for p in problems)
+
+    def test_quick_run_gates_only_the_subset_of_a_full_baseline(self):
+        cur = _ledger(quick=True)
+        del cur["cases"]["lih_mps_sweep"]
+        assert compare_ledgers(cur, _ledger(quick=False)) == []
+
+    def test_full_run_missing_a_case_is_flagged(self):
+        cur = _ledger(quick=False)
+        del cur["cases"]["lih_mps_sweep"]
+        problems = compare_ledgers(cur, _ledger(quick=False))
+        assert any("case missing" in p for p in problems)
+
+
+class TestRunCase:
+    def test_h2_statevector_case_record(self):
+        record = run_case("h2_sv_direct")
+        assert record["molecule"] == "h2"
+        assert record["energy"] == pytest.approx(-1.116758, abs=1e-4)
+        assert record["wall_s"] > 0.0
+        # a serial direct evaluation is one batched compiled expectation
+        assert record["counters"]["pauli.expectations"] == 1
+        assert record["counters"]["pauli.compiles"] == 1
+        cost = record["cost"]
+        assert cost["schema"] == "repro.cost/1"
+        assert cost["totals"]["flops"] > 0.0
+        # the record slots into a valid ledger document
+        validate_ledger({"schema": BENCH_SCHEMA,
+                         "cases": {"h2_sv_direct": record}})
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError):
+            run_case("nope")

@@ -1,4 +1,4 @@
-"""Unit tests for the repro.obs/1 export schema (repro.obs.export)."""
+"""Unit tests for the repro.obs/2 export schema (repro.obs.export)."""
 
 from __future__ import annotations
 
@@ -110,3 +110,58 @@ class TestValidation:
                "spans": [{"span_id": 0}]}
         with pytest.raises(ValueError, match="span missing"):
             validate_document(doc)
+
+
+class TestSchemaV2:
+    def test_current_schema_is_v2(self):
+        assert SCHEMA_VERSION == "repro.obs/2"
+
+    def test_v1_documents_still_validate(self, populated):
+        reg, trc = populated
+        doc = snapshot(reg, trc)
+        doc["schema"] = "repro.obs/1"
+        validate_document(doc)
+
+    def test_merged_multiworker_document_roundtrips(self, populated):
+        """The shape the parent produces after folding worker deltas -
+        per-worker labels, merge bookkeeping counters, worker-tagged
+        spans - must survive a JSON round trip and validate."""
+        reg, trc = populated
+        for worker in (0, 1):
+            wreg = MetricsRegistry()
+            wreg.enable()
+            wreg.counter("svd", "SVDs").inc(2 + worker)
+            wreg.histogram("batch").observe_many([1.0, 4.0])
+            wtrc = Tracer()
+            wtrc.enable()
+            with wtrc.span("worker.task"):
+                pass
+            reg.merge(wreg, worker=worker)
+            trc.merge(wtrc.snapshot(), worker=worker)
+        doc = json.loads(json.dumps(snapshot(reg, trc)))
+        validate_document(doc)
+        assert doc["schema"] == SCHEMA_VERSION
+        merge_slots = doc["metrics"]["obs.merges"]["values"]
+        assert {s["labels"]["worker"] for s in merge_slots} == {0, 1}
+        assert next(s["value"] for s in doc["metrics"]["svd"]["values"]
+                    if not s["labels"]) == 4 + 2 + 3
+        tagged = [s for s in doc["spans"]
+                  if s.get("attrs", {}).get("worker") is not None]
+        assert {s["attrs"]["worker"] for s in tagged} == {0, 1}
+
+    def test_ledger_documents_dispatch_to_bench_validator(self):
+        ledger = {
+            "schema": "repro.bench/1",
+            "cases": {
+                "h2_sv_direct": {
+                    "energy": -1.0, "wall_s": 0.01,
+                    "counters": {"pauli.expectations": 8},
+                    "cost": {"schema": "repro.cost/1", "phases": {},
+                             "totals": {"flops": 0.0, "bytes": 0.0}},
+                },
+            },
+        }
+        validate_document(json.loads(json.dumps(ledger)))
+        ledger["cases"]["h2_sv_direct"].pop("counters")
+        with pytest.raises(ValueError, match="counters"):
+            validate_document(ledger)

@@ -100,6 +100,30 @@ class TestHistogram:
         s = reg.value("batch")
         assert s == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0}
 
+    def test_observe_many_matches_sequential_observes(self, reg):
+        values = [3.0, 1.5, 2.0, 1.5, 9.25, 0.5]
+        one = reg.histogram("one")
+        for v in values:
+            one.observe(v, level="x")
+        batch = reg.histogram("batch")
+        batch.observe_many(values, level="x")
+        assert reg.value("batch", level="x") == reg.value("one", level="x")
+
+    def test_observe_many_extends_existing_slot(self, reg):
+        h = reg.histogram("batch")
+        h.observe(10.0)
+        h.observe_many([1.0, 20.0])
+        assert reg.value("batch") == {
+            "count": 3, "sum": 31.0, "min": 1.0, "max": 20.0}
+
+    def test_observe_many_empty_and_disabled_are_noops(self, reg):
+        h = reg.histogram("batch")
+        h.observe_many([])
+        assert reg.snapshot() == {}
+        reg.disable()
+        h.observe_many([1.0, 2.0])
+        assert reg.snapshot() == {}
+
 
 class TestRegistry:
     def test_same_name_returns_same_instrument(self, reg):

@@ -1,0 +1,166 @@
+"""Merge-order invariance of MetricsRegistry.merge (property tests).
+
+The cross-process aggregation contract: folding worker snapshots into a
+parent registry must give the same result for *every* merge order -
+counters add (commutative), gauges resolve by worker id (not arrival
+order), histogram aggregates combine (count/sum add, min/max extremize).
+Observations are integers so float non-associativity cannot mask an
+ordering bug (the float caveat is documented in docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+from .support import given_seed, rng_for
+
+METRIC_NAMES = ("mps.svd", "mps.gemm", "pauli.expectations")
+LABEL_SETS = ({}, {"level": "pauli_groups"}, {"worker": "w"})
+
+
+def _random_worker_registry(rng, histogram: bool = False) -> MetricsRegistry:
+    """A worker-like registry with random integer-valued instruments."""
+    reg = MetricsRegistry()
+    reg.enable()
+    for name in METRIC_NAMES:
+        if rng.random() < 0.2:
+            continue  # workers need not touch every metric
+        c = reg.counter(name, "events")
+        for labels in LABEL_SETS:
+            if rng.random() < 0.5:
+                c.inc(int(rng.integers(1, 100)), **labels)
+    g = reg.gauge("mps.max_bond_dimension", "bond")
+    g.set(int(rng.integers(1, 64)))
+    if histogram:
+        h = reg.histogram("parallel.chunk_sizes", "sizes")
+        values = rng.integers(0, 50, size=int(rng.integers(1, 8)))
+        h.observe_many([int(v) for v in values])
+    return reg
+
+
+def _merged(snapshots: list[tuple[int, dict]]) -> dict:
+    """Fold (worker, snapshot) pairs into a fresh parent; return snapshot."""
+    parent = MetricsRegistry()
+    for worker, snap in snapshots:
+        parent.merge(snap, worker=worker)
+    return parent.snapshot()
+
+
+@given_seed()
+def test_counter_totals_invariant_under_merge_order(seed):
+    rng = rng_for(seed)
+    workers = [(w, _random_worker_registry(rng).snapshot())
+               for w in range(int(rng.integers(2, 6)))]
+    forward = _merged(workers)
+    shuffled = list(workers)
+    rng.shuffle(shuffled)
+    assert _merged(shuffled) == forward
+
+
+@given_seed()
+def test_histogram_combination_invariant_under_merge_order(seed):
+    rng = rng_for(seed)
+    workers = [(w, _random_worker_registry(rng, histogram=True).snapshot())
+               for w in range(int(rng.integers(2, 6)))]
+    forward = _merged(workers)
+    reverse = _merged(list(reversed(workers)))
+    assert reverse == forward
+    # and the combined aggregate equals a single registry observing
+    # every worker's values at once
+    direct = MetricsRegistry()
+    direct.enable()
+    h = direct.histogram("parallel.chunk_sizes", "sizes")
+    count = 0
+    for _, snap in workers:
+        for slot in snap["parallel.chunk_sizes"]["values"]:
+            agg = slot["value"]
+            count += agg["count"]
+    merged_agg = next(
+        s["value"] for s in forward["parallel.chunk_sizes"]["values"])
+    assert merged_agg["count"] == count
+
+
+@given_seed(max_examples=15)
+def test_gauge_resolves_by_worker_id_not_arrival_order(seed):
+    rng = rng_for(seed)
+    workers = [(w, _random_worker_registry(rng).snapshot())
+               for w in range(int(rng.integers(2, 6)))]
+    forward = _merged(workers)
+    shuffled = list(workers)
+    rng.shuffle(shuffled)
+    assert _merged(shuffled) == forward
+    # the surviving gauge value is specifically the highest worker's
+    top_worker = max(w for w, _ in workers)
+    expect = next(
+        s["value"]
+        for s in dict(workers)[top_worker]["mps.max_bond_dimension"]["values"])
+    got = next(
+        s["value"] for s in forward["mps.max_bond_dimension"]["values"])
+    assert got == expect
+
+
+def test_merge_is_associative_with_incremental_parents():
+    """Merging A then B equals merging a pre-merged (A+B) registry."""
+    rng = rng_for(7)
+    a = _random_worker_registry(rng, histogram=True)
+    b = _random_worker_registry(rng, histogram=True)
+    one_by_one = MetricsRegistry()
+    one_by_one.merge(a, worker=0)
+    one_by_one.merge(b, worker=0)
+    pre = MetricsRegistry()
+    pre.merge(a.snapshot())
+    pre.merge(b.snapshot())
+    pre_snap = pre.snapshot()
+    staged = MetricsRegistry()
+    staged.merge(pre_snap, worker=0)
+    # same totals for every non-bookkeeping metric (obs.merges counts
+    # snapshots folded, which legitimately differs between the routes)
+    lhs = {k: v for k, v in one_by_one.snapshot().items()
+           if not k.startswith("obs.")}
+    rhs = {k: v for k, v in staged.snapshot().items()
+           if not k.startswith("obs.")}
+    assert lhs == rhs == {k: v for k, v in pre_snap.items()
+                          if not k.startswith("obs.")}
+
+
+def test_merge_rejects_kind_conflicts():
+    from repro.common.errors import ValidationError
+
+    worker = MetricsRegistry()
+    worker.enable()
+    worker.counter("x", "d").inc()
+    parent = MetricsRegistry()
+    parent.enable()
+    parent.gauge("x", "d").set(1)
+    with pytest.raises(ValidationError, match="gauge"):
+        parent.merge(worker)
+
+
+def test_tracer_merge_rebases_ids_and_tags_worker():
+    worker = Tracer()
+    worker.enable()
+    with worker.span("outer"):
+        with worker.span("inner"):
+            pass
+    snap = worker.snapshot()
+    parent = Tracer()
+    parent.enable()
+    with parent.span("local"):
+        pass
+    parent.merge(snap, worker=3)
+    parent.merge(snap, worker=5)
+    spans = parent.snapshot()
+    assert len(spans) == 5
+    ids = [s["span_id"] for s in spans]
+    assert len(set(ids)) == len(ids), "span ids collided after merge"
+    merged = [s for s in spans if "attrs" in s and "worker" in s["attrs"]]
+    assert sorted({s["attrs"]["worker"] for s in merged}) == [3, 5]
+    for s in merged:
+        if s["name"] == "inner":
+            parent_span = next(p for p in spans
+                               if p["span_id"] == s["parent_id"])
+            assert parent_span["name"] == "outer"
+            assert parent_span["attrs"]["worker"] == s["attrs"]["worker"]

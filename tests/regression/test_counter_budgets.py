@@ -182,6 +182,155 @@ class TestParallelBudgets:
         assert w0 == w1 == self.H2_GROUPS // 2
 
 
+class TestProcessParity:
+    """Cross-process aggregation: process counters == serial, exactly.
+
+    Workers snapshot their local registry per task and the parent merges
+    the deltas, so ``result.metrics`` totals are identical for serial /
+    thread / process executors at any worker count - the telemetry
+    extension of the PR 2 bitwise-determinism guarantee.
+    """
+
+    #: counters whose totals are pure functions of a single cold-cache
+    #: evaluation (each Pauli group is compiled exactly once, in exactly
+    #: one worker's chunk)
+    SINGLE_EVAL_COUNTERS = ("pauli.expectations", "pauli.compiles",
+                            "parallel.tasks", "parallel.dispatches",
+                            "vqe.ansatz_runs", "vqe.energy_evaluations")
+
+    @staticmethod
+    def _totals(reg, names):
+        snap = reg.snapshot()
+        return {
+            name: sum(slot["value"]
+                      for slot in snap.get(name, {}).get("values", ()))
+            for name in names
+        }
+
+    def test_single_eval_counters_match_serial_at_1_2_4_workers(self, h2):
+        e_serial, reg = self._run(h2, "serial", 1)
+        base = self._totals(reg, self.SINGLE_EVAL_COUNTERS)
+        assert base["pauli.expectations"] == TestParallelBudgets.H2_GROUPS
+        for workers in (1, 2, 4):
+            energy, reg = self._run(h2, "process", workers)
+            assert energy == e_serial
+            assert self._totals(reg, self.SINGLE_EVAL_COUNTERS) == base
+
+    def test_per_worker_labels_present_after_merge(self, h2):
+        _, reg = self._run(h2, "process", 2)
+        snap = reg.snapshot()
+        merges = {tuple(sorted(s["labels"].items())): s["value"]
+                  for s in snap["obs.merges"]["values"]}
+        assert merges == {(("worker", 0),): 1, (("worker", 1),): 1}
+        for worker in (0, 1):
+            assert reg.value("parallel.worker_tasks", level="pauli_groups",
+                             worker=worker) \
+                == TestParallelBudgets.H2_GROUPS // 2
+        events = self._totals(reg, ("obs.merged_events",))
+        assert events["obs.merged_events"] > 0
+
+    def test_full_vqe_run_counters_match_serial(self, h2):
+        """A multi-iteration optimize loop keeps parity on the counters
+        that are deterministic across pool-task scheduling (compile
+        counts can shift between live workers of a reused pool; the
+        *work* counters cannot)."""
+        from repro.vqe.vqe import VQE
+
+        ham = molecular_qubit_hamiltonian(h2.mo)
+        ansatz = UCCSDAnsatz(h2.mo.n_orbitals, h2.mo.n_electrons)
+        names = ("pauli.expectations", "parallel.tasks",
+                 "vqe.ansatz_runs", "vqe.energy_evaluations",
+                 "vqe.iterations")
+        runs = {}
+        for parallel, workers in (("serial", 1), ("process", 2)):
+            _clear_all_caches()
+            with obs.collect() as reg:
+                with VQE(ham, ansatz, simulator="statevector",
+                         parallel=parallel, n_workers=workers,
+                         max_iterations=5) as vqe:
+                    res = vqe.run()
+                runs[parallel] = (res.energy, self._totals(reg, names))
+        (e_serial, c_serial), (e_proc, c_proc) = \
+            runs["serial"], runs["process"]
+        assert e_proc == e_serial
+        assert c_proc == c_serial
+
+    def _run(self, h2, executor, workers):
+        ham, ansatz = _hamiltonian_and_ansatz(h2)
+        return _measured_energy(ham, ansatz, simulator="statevector",
+                                parallel=executor, n_workers=workers)
+
+
+class TestWorkerObsLifecycle:
+    """Regression tests for the fork-inherited stale obs state bug."""
+
+    def test_directive_none_silences_inherited_enabled_state(self):
+        """A worker forked while the parent was recording must go quiet
+        (and drop the inherited values) when a later task ships no
+        directive."""
+        from repro.obs.metrics import REGISTRY
+        from repro.obs.trace import TRACER
+        from repro.parallel.executor import _worker_obs_begin
+
+        REGISTRY.enable()
+        REGISTRY.counter("stale.junk", "inherited").inc(99)
+        try:
+            _worker_obs_begin(None)
+            assert not REGISTRY.enabled
+            assert not TRACER.enabled
+            assert REGISTRY.snapshot() == {}
+        finally:
+            REGISTRY.disable()
+            REGISTRY.reset()
+
+    def test_begin_resets_inherited_values_before_recording(self):
+        from repro.obs.metrics import REGISTRY
+        from repro.parallel.executor import (
+            _worker_obs_begin,
+            _worker_obs_finish,
+        )
+
+        REGISTRY.enable()
+        REGISTRY.counter("stale.junk", "inherited").inc(99)
+        try:
+            _worker_obs_begin((0, False))
+            assert REGISTRY.enabled
+            assert REGISTRY.snapshot() == {}, \
+                "fork-inherited values leaked into the task delta"
+            REGISTRY.counter("fresh.event", "this task").inc()
+            doc = _worker_obs_finish((0, False))
+            assert list(doc["metrics"]) == ["fresh.event"]
+            assert not REGISTRY.enabled
+            assert REGISTRY.snapshot() == {}
+        finally:
+            clear_worker_compiled_cache()
+            REGISTRY.disable()
+            REGISTRY.reset()
+
+    def test_clear_worker_compiled_cache_resets_worker_obs_state(self):
+        from repro.obs.metrics import REGISTRY
+        from repro.parallel import executor as exec_mod
+
+        # parent side: the flag is unset, obs state must be untouched
+        REGISTRY.enable()
+        REGISTRY.counter("parent.value", "kept").inc(3)
+        try:
+            clear_worker_compiled_cache()
+            assert REGISTRY.enabled
+            assert REGISTRY.value("parent.value") == 3
+            # worker side: the flag marks this process as a recorder;
+            # clearing must disable and drop everything
+            exec_mod._WORKER_OBS["active"] = True
+            clear_worker_compiled_cache()
+            assert not exec_mod._WORKER_OBS["active"]
+            assert not REGISTRY.enabled
+            assert REGISTRY.snapshot() == {}
+        finally:
+            exec_mod._WORKER_OBS["active"] = False
+            REGISTRY.disable()
+            REGISTRY.reset()
+
+
 class TestDMETBudgets:
     def test_fragment_solves_independent_of_worker_count(self, h4_ring):
         from repro.dmet.dmet import DMET, atoms_per_fragment
@@ -208,3 +357,32 @@ class TestDMETBudgets:
         # 2 fragments per mu evaluation; workers=2 routes them through
         # the level-1 executor (counter registered on first parallel use)
         assert results[1][1] == 2 * results[1][2]
+
+    def test_process_fragments_merge_worker_telemetry(self, h4_ring):
+        """Level-1 process dispatch ships each fragment solve's counters
+        back to the parent: totals match the thread run and per-worker
+        merge provenance appears."""
+        from repro.dmet.dmet import DMET, atoms_per_fragment
+        from repro.dmet.orthogonalize import (
+            attach_labels,
+            lowdin_orthogonalize,
+        )
+
+        attach_labels(h4_ring.scf, h4_ring.rhf.basis)
+        system = lowdin_orthogonalize(h4_ring.scf, h4_ring.eri_ao)
+        fragments = atoms_per_fragment(system, 2)
+        results = {}
+        for executor in ("thread", "process"):
+            with obs.collect() as reg:
+                res = DMET(system, fragments, n_workers=2,
+                           executor=executor).run()
+                snap = reg.snapshot()
+                results[executor] = (
+                    res.energy,
+                    reg.value("dmet.fragment_solves"),
+                    reg.value("dmet.mu_iterations"),
+                )
+        assert results["thread"] == results["process"]
+        merges = {s["labels"]["worker"]
+                  for s in snap["obs.merges"]["values"]}
+        assert merges == {0, 1}
