@@ -86,8 +86,13 @@ def _run_energy(args) -> int:
         print(f"E(FCI)  = {job.fci_energy():+.8f} Ha")
     elif method == "vqe":
         # --workers N routes measurements through the level-2 parallel
-        # engine (needs a shareable-state backend, e.g. statevector)
+        # engine (needs a backend with a registered state transport,
+        # e.g. statevector or mps)
         parallel = args.executor if args.workers > 1 else None
+        if args.level3_workers > 1:
+            from repro.simulators.mps_measure import configure_level3
+
+            configure_level3(workers=args.level3_workers)
         res = job.vqe_energy(simulator=args.simulator,
                              max_bond_dimension=args.bond_dimension,
                              measurement=args.measurement,
@@ -218,6 +223,10 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--executor", default="thread",
                     help="registered executor backend: serial | thread | "
                          "process (used when --workers > 1)")
+    pe.add_argument("--level3-workers", type=int, default=1,
+                    help="thread count for the level-3 bond-sliced MPS "
+                         "measurement GEMMs (bitwise identical to the "
+                         "unsliced path; shipped to process workers)")
     pe.add_argument("--fragment-atoms", type=int, default=2)
     pe.add_argument("--equivalent", action="store_true",
                     help="treat all fragments as symmetry equivalent")

@@ -84,11 +84,16 @@ class BackendSpec:
     `cutoff` are always forwarded by the evaluator layer so that one call
     signature drives every backend.
 
-    ``picklable`` and ``shareable_state`` advertise what the real parallel
-    engine (:mod:`repro.parallel.executor`) may do with the backend:
-    whether instances can be shipped to process-pool workers, and whether
-    the backend exposes a dense statevector that can be exported through
-    ``multiprocessing.shared_memory`` for worker-side batched measurement.
+    ``picklable``, ``shareable_state`` and ``transport`` advertise what the
+    real parallel engine (:mod:`repro.parallel.executor`) may do with the
+    backend: whether instances can be shipped to process-pool workers, and
+    which registered state transport
+    (:mod:`repro.parallel.transport`) exports the backend's states into
+    shared memory for worker-side batched measurement — ``"dense_shm"``
+    for flat amplitude vectors, ``"mps_shm"`` for tensor-train site
+    blocks, ``None`` when states cannot cross process boundaries at all.
+    ``shareable_state`` is the legacy boolean form of the same capability
+    (kept in sync for existing callers).
 
     ``measurement_modes`` / ``default_measurement`` advertise the
     observable-evaluation strategies the backend accepts through a
@@ -105,9 +110,13 @@ class BackendSpec:
     options: tuple[str, ...] = field(default=())
     #: instances survive pickling to process-pool workers
     picklable: bool = True
-    #: exposes a dense statevector shareable via shared memory (the
-    #: process-parallel measurement path requires this)
+    #: exposes a dense statevector shareable via shared memory (legacy
+    #: boolean capability; ``transport`` is the canonical declaration)
     shareable_state: bool = False
+    #: name of the registered state transport able to export this
+    #: backend's states across process boundaries (None: process-parallel
+    #: measurement unsupported)
+    transport: str | None = None
     #: observable-evaluation strategies selectable via measurement=...
     measurement_modes: tuple[str, ...] = field(default=())
     #: the mode used when the caller does not pick one (None: no knob)
@@ -131,6 +140,7 @@ def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
                      make_evaluator: Callable[..., Any] | None = None,
                      description: str = "", options: tuple[str, ...] = (),
                      picklable: bool = True, shareable_state: bool = False,
+                     transport: str | None = None,
                      measurement_modes: tuple[str, ...] = (),
                      default_measurement: str | None = None,
                      overwrite: bool = False) -> BackendSpec:
@@ -148,8 +158,11 @@ def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
         ``(hamiltonian, ansatz, **opts) -> evaluator`` for ansatz backends.
     description, options:
         Documentation surfaced by the CLI (`--simulator` help) and docs.
-    picklable, shareable_state:
-        Parallel-engine capabilities (see :class:`BackendSpec`).
+    picklable, shareable_state, transport:
+        Parallel-engine capabilities (see :class:`BackendSpec`).  Passing
+        ``shareable_state=True`` without a transport implies the dense
+        ``"dense_shm"`` transport; declaring a transport implies
+        ``shareable_state`` for legacy callers.
     measurement_modes, default_measurement:
         Observable-evaluation strategies selectable via a ``measurement=``
         factory option (see :class:`BackendSpec`).
@@ -171,10 +184,17 @@ def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
             f"default measurement {default_measurement!r} is not among the "
             f"declared modes {modes}"
         )
+    # the two capability declarations imply each other for compatibility:
+    # legacy shareable_state=True means the dense transport, and any
+    # declared transport makes the state shareable
+    if transport is None and shareable_state:
+        transport = "dense_shm"
     spec = BackendSpec(name=key, kind=kind, factory=factory,
                        make_evaluator=make_evaluator,
                        description=description, options=tuple(options),
-                       picklable=picklable, shareable_state=shareable_state,
+                       picklable=picklable,
+                       shareable_state=transport is not None,
+                       transport=transport,
                        measurement_modes=modes,
                        default_measurement=default_measurement)
     _REGISTRY[key] = spec
@@ -278,6 +298,7 @@ register_backend(
                 "measurement",
     options=("max_bond_dimension", "cutoff", "mode", "measurement",
              "max_truncation_error"),
+    transport="mps_shm",
     # kept in sync with repro.simulators.mps_measure.MEASUREMENT_MODES
     # (listed literally so importing the registry stays lightweight);
     # the backend parity tests assert the two tuples match

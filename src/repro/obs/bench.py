@@ -2,7 +2,8 @@
 
 ``python -m repro bench`` runs a fixed set of reference workloads (H2 /
 LiH statevector and MPS-sweep/MPO evaluations, 1/2/4-worker three-level
-dispatches), writes a schema-versioned ``BENCH_<date>.json`` at the
+dispatches, process-parallel MPS measurements over the ``mps_shm``
+state transport), writes a schema-versioned ``BENCH_<date>.json`` at the
 current directory, and compares it against the committed baseline
 (``BENCH_baseline.json``), exiting nonzero on regression - the
 machine-readable perf trajectory the ROADMAP's "as fast as the hardware
@@ -31,6 +32,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import time
 from pathlib import Path
 
@@ -67,9 +69,64 @@ _CASES: dict[str, tuple[str, dict]] = {
     "lih_mps_mpo": ("lih", {"simulator": "mps", "measurement": "mpo"}),
 }
 
+#: process-parallel MPS measurement cases: a pinned random D=32 state
+#: (theta = 0 reference states are product states, so their sweep GEMMs
+#: are trivial) measured through the level-2 shared-transport dispatch;
+#: name -> (n_qubits, bond_dimension, seed, executor kwargs)
+_MPS_PARALLEL_CASES: dict[str, tuple[int, int, int, dict]] = {
+    "lih_mps_proc_sweep_w1": (12, 32, 7, {"executor": "process",
+                                          "workers": 1, "mode": "sweep"}),
+    "lih_mps_proc_sweep_w2": (12, 32, 7, {"executor": "process",
+                                          "workers": 2, "mode": "sweep"}),
+    "lih_mps_proc_sweep_w4": (12, 32, 7, {"executor": "process",
+                                          "workers": 4, "mode": "sweep"}),
+    "lih_mps_proc_mpo_w2": (12, 32, 7, {"executor": "process",
+                                        "workers": 2, "mode": "mpo"}),
+}
+
 #: the CI-friendly subset (seconds, not minutes, on one core)
 _QUICK_CASES = ("h2_sv_direct", "h2_mps_sweep", "h2_mps_mpo",
-                "h2_threelevel_w1", "h2_threelevel_w2")
+                "h2_threelevel_w1", "h2_threelevel_w2",
+                "lih_mps_proc_sweep_w1", "lih_mps_proc_sweep_w2")
+
+
+#: pinned process-parallel speedup acceptance (w1 sweep vs w4 sweep)
+MPS_SPEEDUP_TARGET = 1.5
+MPS_SPEEDUP_CASES = ("lih_mps_proc_sweep_w1", "lih_mps_proc_sweep_w4")
+
+
+def _known_cases() -> list[str]:
+    """All case names, evaluator-based and MPS-parallel alike."""
+    return list(_CASES) + list(_MPS_PARALLEL_CASES)
+
+
+def available_cores() -> int:
+    """Cores this process may schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+def mps_speedup(doc: dict) -> tuple[float | None, bool]:
+    """``(speedup, enforceable)`` for the pinned MPS parallel pair.
+
+    ``speedup`` is ``wall_s(w1) / wall_s(w4)`` of the pinned
+    process-parallel sweep cases, or None when either case is absent
+    from the ledger.  The >= :data:`MPS_SPEEDUP_TARGET` gate is only
+    *enforceable* when the machine can actually run the four workers
+    concurrently: on a single-core runner every process shares one core
+    and the wall-clock ratio is physically capped near 1.0 no matter how
+    good the transport layer is, so the gate reports but does not trip.
+    """
+    cases = doc.get("cases", {})
+    try:
+        w1 = cases[MPS_SPEEDUP_CASES[0]]["wall_s"]
+        w4 = cases[MPS_SPEEDUP_CASES[1]]["wall_s"]
+    except KeyError:
+        return None, False
+    return w1 / w4, available_cores() >= 4
+
 
 # molecule name -> (hamiltonian, ansatz circuit); built once per run
 _SYSTEMS: dict[str, tuple] = {}
@@ -131,8 +188,67 @@ def calibration_probe(repeat: int = 5) -> float:
     return best
 
 
+def _run_mps_parallel_case(name: str) -> dict:
+    """One grouped MPS measurement on a pinned random state.
+
+    Times ``GroupedObservable.expectation_mps`` against the LiH
+    Hamiltonian through the named executor - the workload behind the
+    state-transport speedup target (the ``w4`` sweep case is the pinned
+    >1.5x acceptance of the StateTransport PR).  Cold instrumented run
+    first, then a warm timed run on the same live worker pool.
+    """
+    from repro.parallel.executor import GroupedObservable, resolve_executor
+    from repro.simulators.mps import MPS
+
+    n_qubits, bond_dimension, seed, spec = _MPS_PARALLEL_CASES[name]
+    ham, _ = _system("lih")
+    state = MPS.random_state(n_qubits, bond_dimension=bond_dimension,
+                             seed=seed)
+    grouped = GroupedObservable(ham, n_qubits)
+    _clear_caches()
+    executor = resolve_executor(spec["executor"], spec["workers"])
+    try:
+        with obs.collect() as reg:
+            energy = grouped.expectation_mps(state, executor,
+                                             mode=spec["mode"])
+            snap = reg.snapshot()
+        # best-of-3 warm runs: process dispatch latency is noisy on
+        # shared CI cores, and the speedup report divides these walls
+        wall_s = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            energy_warm = grouped.expectation_mps(state, executor,
+                                                  mode=spec["mode"])
+            wall_s = min(wall_s, time.perf_counter() - t0)
+            if abs(energy_warm - energy) > 1e-12:
+                raise AssertionError(
+                    f"{name}: warm re-evaluation drifted "
+                    f"({energy_warm!r} vs {energy!r})"
+                )
+    finally:
+        executor.close()
+    counters = {
+        metric: float(sum(slot["value"] for slot in inst["values"]))
+        for metric, inst in snap.items() if inst["type"] == "counter"
+    }
+    return {
+        "molecule": "lih",
+        "energy": energy,
+        "workers": spec["workers"],
+        "wall_s": wall_s,
+        # pool scheduling on an oversubscribed runner swings these walls
+        # well past any useful threshold; counters and energy still gate
+        # exactly, and mps_speedup() reports the w1/w4 ratio
+        "wall_gated": False,
+        "counters": counters,
+        "cost": cost_report(snap, wall_s=wall_s),
+    }
+
+
 def run_case(name: str) -> dict:
     """Run one pinned case; returns its ledger record."""
+    if name in _MPS_PARALLEL_CASES:
+        return _run_mps_parallel_case(name)
     molecule, kwargs = _CASES[name]
     ham, ansatz = _system(molecule)
     from repro.vqe.energy import EnergyEvaluator
@@ -170,11 +286,12 @@ def run_case(name: str) -> dict:
 def run_suite(quick: bool = False, cases: list[str] | None = None) -> dict:
     """Run the pinned suite; returns the ledger document."""
     if cases is None:
-        cases = list(_QUICK_CASES) if quick else list(_CASES)
-    unknown = [c for c in cases if c not in _CASES]
+        cases = list(_QUICK_CASES) if quick else _known_cases()
+    known = _known_cases()
+    unknown = [c for c in cases if c not in known]
     if unknown:
         raise ValueError(f"unknown bench cases {unknown}; "
-                         f"known: {sorted(_CASES)}")
+                         f"known: {sorted(known)}")
     calibration_s = calibration_probe()
     doc: dict = {
         "schema": BENCH_SCHEMA,
@@ -235,7 +352,10 @@ def compare_ledgers(current: dict, baseline: dict, *,
     baselines must match exactly, float-valued ones to ``counter_rtol``
     (energies likewise).  Wall time is gated on ``wall_rel`` (the
     calibration-normalized ratio) when both documents carry it, raw
-    ``wall_s`` otherwise, tripping beyond ``wall_threshold``.
+    ``wall_s`` otherwise, tripping beyond ``wall_threshold``; a baseline
+    record carrying ``"wall_gated": false`` (the process-parallel MPS
+    cases, whose dispatch latency is scheduler noise on shared runners)
+    is reported but never wall-gated.
     """
     problems: list[str] = []
     for name, base in baseline.get("cases", {}).items():
@@ -264,7 +384,7 @@ def compare_ledgers(current: dict, baseline: dict, *,
             problems.append(
                 f"{name}: energy drifted {base['energy']!r} -> "
                 f"{cur['energy']!r}")
-        if check_wall:
+        if check_wall and base.get("wall_gated", True):
             key = ("wall_rel" if "wall_rel" in base and "wall_rel" in cur
                    else "wall_s")
             allowed = base[key] * (1.0 + wall_threshold)
@@ -278,11 +398,11 @@ def compare_ledgers(current: dict, baseline: dict, *,
 def add_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the bench flags to ``parser`` (shared with ``-m repro``)."""
     parser.add_argument("--quick", action="store_true",
-                        help="CI subset (H2 cases only)")
+                        help="CI subset (small, seconds-scale cases)")
     parser.add_argument("--case", action="append", dest="cases",
                         metavar="NAME",
                         help=f"run one named case (repeatable); "
-                             f"known: {', '.join(sorted(_CASES))}")
+                             f"known: {', '.join(sorted(_known_cases()))}")
     parser.add_argument("--out", default=None,
                         help="ledger output path (default: "
                              "./BENCH_<date>.json)")
@@ -314,6 +434,18 @@ def run_cli(args: argparse.Namespace) -> int:
               f"rel {record['wall_rel']:8.2f}  "
               f"modeled {cost['totals']['flops'] / 1e6:9.2f} Mflop  "
               f"achieved {gflops:6.2f} GF/s")
+    speedup, enforceable = mps_speedup(doc)
+    if speedup is not None:
+        met = speedup >= MPS_SPEEDUP_TARGET
+        note = ("ok" if met else "below target") + \
+            ("" if enforceable
+             else f" [not enforced: {available_cores()} core(s)]")
+        print(f"  mps process speedup w1->w4: {speedup:.2f}x "
+              f"(target {MPS_SPEEDUP_TARGET:.1f}x, {note})")
+        if enforceable and not met:
+            print("PERF REGRESSION: process-parallel MPS sweep speedup "
+                  "below target")
+            return 2
     if args.write_baseline:
         base_path = Path.cwd() / BASELINE_NAME
         write_ledger(doc, base_path)
@@ -354,10 +486,14 @@ def cli(argv: list[str] | None = None) -> int:
 __all__ = [
     "BENCH_SCHEMA",
     "BASELINE_NAME",
+    "MPS_SPEEDUP_CASES",
+    "MPS_SPEEDUP_TARGET",
     "add_arguments",
+    "available_cores",
     "calibration_probe",
     "cli",
     "compare_ledgers",
+    "mps_speedup",
     "run_case",
     "run_cli",
     "run_suite",

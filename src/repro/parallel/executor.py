@@ -10,7 +10,9 @@ this package on simulated clocks; this module makes the first two levels
   into a fixed, worker-count-independent list of term groups
   (:class:`GroupedObservable`); each worker evaluates its groups' compiled
   flip-mask expectations (:class:`~repro.simulators.pauli_kernels.CompiledObservable`)
-  against a statevector shared via :mod:`multiprocessing.shared_memory`, so
+  against a statevector - or its groups' environment sweeps / MPO
+  contractions against a tensor-train state - reattached zero-copy through
+  the per-backend state transports of :mod:`repro.parallel.transport`, so
   only group payloads and scalar partials cross process boundaries.
 
 Executors are selected by name through a registry mirroring
@@ -34,12 +36,18 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.common.errors import ValidationError
+from repro.common.errors import TransportError, ValidationError
 from repro.common.reductions import kahan_sum
 from repro.obs import metrics as _obs
 from repro.obs import trace as _trace
 from repro.operators.pauli import PauliTerm, QubitOperator
 from repro.parallel.scheduler import chunk_round_robin
+from repro.parallel.transport import (
+    attach_state,
+    available_transports,
+    export_state,
+    transport_for_state,
+)
 
 # observability instruments (no-ops unless `repro.obs` is enabled); the
 # partition is worker-count independent, so task totals are deterministic
@@ -225,8 +233,9 @@ class ProcessExecutor:
     """Process-pool execution: true multi-core for pure-python work.
 
     Tasks and results cross process boundaries, so submitted functions and
-    payloads must be picklable; bulk state travels through
-    :class:`SharedStatevector` instead of pickles.  The pool is created
+    payloads must be picklable; bulk state travels through the shared-memory
+    transports of :mod:`repro.parallel.transport` instead of pickles.  The
+    pool is created
     lazily on first use and reused across calls (workers keep their
     compiled-observable caches warm between optimizer iterations).
     """
@@ -347,6 +356,11 @@ class SharedStatevector:
     read-only by name and gathers just its groups' flip-mask permutations,
     so the 16 * 2^n byte state never crosses a pipe.  Use as a context
     manager - the segment is unlinked on exit.
+
+    Legacy standalone API: the executor itself now ships states through
+    the generic :mod:`repro.parallel.transport` layer (``dense_shm`` is
+    the equivalent transport); this class remains for callers that manage
+    a raw amplitude segment directly.
     """
 
     def __init__(self, psi: np.ndarray):
@@ -481,12 +495,14 @@ def _compiled_for_payload(key: tuple, payload: GroupPayload, n_qubits: int):
 def _group_expectation_task(task: tuple):
     """Worker entry point: evaluate a chunk of groups against shared state.
 
-    ``task`` is ``(handle, n_qubits, chunk, directive)`` with ``chunk`` a
-    list of ``(group_index, cache_key, payload)`` and ``directive`` the
-    per-task obs instruction (see :func:`_obs_directive`; legacy 3-tuples
-    mean "no recording").  Returns ``(pairs, obs_doc)``: the
-    ``(group_index, partial)`` pairs the parent reduces in fixed group
-    order, plus this task's telemetry delta (None when not recording).
+    ``task`` is ``(handle, n_qubits, chunk, directive)`` with ``handle``
+    a :class:`repro.parallel.transport.TransportHandle` for the exported
+    statevector, ``chunk`` a list of ``(group_index, cache_key, payload)``
+    and ``directive`` the per-task obs instruction (see
+    :func:`_obs_directive`; legacy 3-tuples mean "no recording").
+    Returns ``(pairs, obs_doc)``: the ``(group_index, partial)`` pairs the
+    parent reduces in fixed group order, plus this task's telemetry delta
+    (None when not recording).
     """
     if len(task) == 4:
         handle, n_qubits, chunk, directive = task
@@ -494,7 +510,7 @@ def _group_expectation_task(task: tuple):
         handle, n_qubits, chunk = task
         directive = None
     _worker_obs_begin(directive)
-    psi, seg = _attach_shared(handle)
+    psi, closer = attach_state(handle)
     try:
         out = []
         for gidx, key, payload in chunk:
@@ -502,7 +518,54 @@ def _group_expectation_task(task: tuple):
             out.append((gidx, compiled.expectation(psi)))
         return out, _worker_obs_finish(directive)
     finally:
-        seg.close()
+        closer()
+
+
+#: worker-side measurement engine, one per process: its per-state caches
+#: rebind on every freshly attached state, while the module-level plan /
+#: MPO caches underneath it stay warm across tasks and dispatches
+_WORKER_MPS_ENGINE: dict[str, Any] = {"engine": None}
+
+
+def _worker_mps_engine():
+    if _WORKER_MPS_ENGINE["engine"] is None:
+        from repro.simulators.mps_measure import MPSMeasurementEngine
+
+        _WORKER_MPS_ENGINE["engine"] = MPSMeasurementEngine()
+    return _WORKER_MPS_ENGINE["engine"]
+
+
+def _mps_group_expectation_task(task: tuple):
+    """Worker entry point: evaluate term groups against a shared MPS.
+
+    ``task`` is ``(handle, n_qubits, mode, chunk, directive, level3)``:
+    ``handle`` reattaches the exported tensor-train state read-only
+    (``mps_shm`` transport), ``mode`` picks the measurement path
+    (``"sweep"`` | ``"mpo"``), ``chunk`` is a list of ``(group_index,
+    payload)`` and ``level3`` mirrors the parent's
+    :func:`repro.simulators.mps_measure.level3_config` so bond slicing
+    behaves identically in every process.  Returns ``(pairs, obs_doc)``
+    exactly like :func:`_group_expectation_task`.
+    """
+    handle, n_qubits, mode, chunk, directive, level3 = task
+    _worker_obs_begin(directive)
+    from repro.simulators.mps_measure import configure_level3
+
+    configure_level3(*level3)
+    mps, closer = attach_state(handle)
+    try:
+        engine = _worker_mps_engine()
+        out = []
+        for gidx, payload in chunk:
+            op = _operator_from_payload(payload)
+            if mode == "mpo":
+                value = engine.expectation_mpo(mps, op, n_qubits)
+            else:
+                value = engine.expectation_sweep(mps, op, n_qubits)
+            out.append((gidx, value))
+        return out, _worker_obs_finish(directive)
+    finally:
+        closer()
 
 
 class GroupedObservable:
@@ -630,23 +693,30 @@ class GroupedObservable:
         return _ordered_partials(results, len(compiled))
 
     def expectation_mps(self, mps, executor=None,
-                        counters: ExecutorCounters | None = None) -> float:
+                        counters: ExecutorCounters | None = None,
+                        *, mode: str = "sweep") -> float:
         """Re <psi| H |psi> for a tensor-train state, batched by group.
 
         The level-2 dispatch for the MPS backend: each group is evaluated
         through the shared-environment sweep engine
-        (:class:`repro.simulators.mps_measure.MPSMeasurementEngine`), whose
-        per-state site-operator / closing-matrix caches are shared across
-        all groups - environments are the MPS analogue of the dense path's
-        flip-mask batches.  Group order and compensated summation match
-        :meth:`expectation`, so the reduction is deterministic for any
-        in-process worker count.  Tensor-train states have no shared-memory
-        export, so the ``process`` executor is rejected.
+        (:class:`repro.simulators.mps_measure.MPSMeasurementEngine`) or,
+        with ``mode="mpo"``, the compressed-MPO contraction.  In-process
+        executors share one engine across all groups; the ``process``
+        executor exports the state once through the ``mps_shm`` transport
+        (:mod:`repro.parallel.transport`) and every worker reattaches the
+        tensor blocks zero-copy.  Group order and compensated summation
+        match :meth:`expectation`, so the reduction is deterministic for
+        any worker count on any executor.
         """
         if mps.n_qubits != self.n_qubits:
             raise ValidationError(
                 f"state register {mps.n_qubits} != operator register "
                 f"{self.n_qubits}"
+            )
+        if mode not in ("sweep", "mpo"):
+            raise ValidationError(
+                f"unknown MPS group-path mode {mode!r}; "
+                f"expected 'sweep' or 'mpo'"
             )
         t0 = time.perf_counter()
         owned = isinstance(executor, str)  # resolved here -> closed here
@@ -654,28 +724,10 @@ class GroupedObservable:
             executor = resolve_executor(executor)
         try:
             if executor is not None and not executor.in_process:
-                raise ValidationError(
-                    "the MPS group path needs an in-process executor "
-                    "('serial' | 'thread'); a tensor-train state cannot be "
-                    "exported through shared memory"
-                )
-            if self._mps_engine is None:
-                from repro.simulators.mps_measure import MPSMeasurementEngine
-
-                self._mps_engine = MPSMeasurementEngine()
-            engine = self._mps_engine
-            ops = self._group_operators()
-            if executor is None or executor.workers == 1:
-                _record_worker_chunks([range(len(ops))], "pauli_groups")
-                partials = [engine.expectation_sweep(mps, op) for op in ops]
+                partials = self._expectation_mps_shared(mps, executor, mode)
             else:
-                chunks = chunk_round_robin(len(ops), executor.workers)
-                _record_worker_chunks(chunks, "pauli_groups")
-                results = executor.map(
-                    lambda idxs: [(i, engine.expectation_sweep(mps, ops[i]))
-                                  for i in idxs],
-                    chunks)
-                partials = _ordered_partials(results, len(ops))
+                partials = self._expectation_mps_in_process(
+                    mps, executor, mode)
         finally:
             if owned:
                 executor.close()
@@ -699,12 +751,65 @@ class GroupedObservable:
                                for p in self.payloads]
         return self._group_ops
 
+    def _mps_eval(self, mode: str):
+        """The engine method implementing one MPS measurement mode."""
+        if self._mps_engine is None:
+            from repro.simulators.mps_measure import MPSMeasurementEngine
+
+            self._mps_engine = MPSMeasurementEngine()
+        engine = self._mps_engine
+        return engine.expectation_mpo if mode == "mpo" \
+            else engine.expectation_sweep
+
+    def _expectation_mps_in_process(self, mps, executor,
+                                    mode: str) -> list[float]:
+        evaluate = self._mps_eval(mode)
+        ops = self._group_operators()
+        if executor is None or executor.workers == 1:
+            _record_worker_chunks([range(len(ops))], "pauli_groups")
+            return [evaluate(mps, op) for op in ops]
+        chunks = chunk_round_robin(len(ops), executor.workers)
+        _record_worker_chunks(chunks, "pauli_groups")
+        results = executor.map(
+            lambda idxs: [(i, evaluate(mps, ops[i])) for i in idxs],
+            chunks)
+        return _ordered_partials(results, len(ops))
+
+    def _expectation_mps_shared(self, mps, executor,
+                                mode: str) -> list[float]:
+        from repro.simulators.mps_measure import level3_config
+
+        if transport_for_state(mps) is None:
+            raise TransportError(
+                f"state {type(mps).__name__!r} has no registered transport; "
+                f"executor {executor.name!r} runs out of process and needs "
+                f"one (registered: {', '.join(available_transports())})",
+                state_kind=type(mps).__name__,
+                executor=getattr(executor, "name", None),
+                available=tuple(available_transports()))
+        chunks = chunk_round_robin(len(self.payloads), executor.workers)
+        _record_worker_chunks(chunks, "pauli_groups")
+        level3 = level3_config()
+        with export_state(mps) as exported:
+            tasks = [
+                (exported.handle, self.n_qubits, mode,
+                 [(i, self.payloads[i]) for i in idxs],
+                 _obs_directive(worker), level3)
+                for worker, idxs in enumerate(chunks)
+            ]
+            results = executor.map(_mps_group_expectation_task, tasks)
+        pair_chunks = []
+        for worker, (pairs, doc) in enumerate(results):
+            _merge_worker_payload(doc, worker)
+            pair_chunks.append(pairs)
+        return _ordered_partials(pair_chunks, len(self.payloads))
+
     def _expectation_shared(self, psi: np.ndarray, executor) -> list[float]:
         chunks = chunk_round_robin(len(self.payloads), executor.workers)
         _record_worker_chunks(chunks, "pauli_groups")
-        with SharedStatevector(psi) as shared:
+        with export_state(psi) as exported:
             tasks = [
-                (shared.handle, self.n_qubits,
+                (exported.handle, self.n_qubits,
                  [(i, self._keys[i], self.payloads[i]) for i in idxs],
                  _obs_directive(worker))
                 for worker, idxs in enumerate(chunks)

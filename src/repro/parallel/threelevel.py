@@ -282,17 +282,25 @@ class ThreeLevelEngine:
         """Re <psi| H |psi> via parallel group batches (bitwise stable).
 
         ``psi`` may be a dense amplitude vector, an MPS state, or an MPS
-        simulator; tensor-train states route through the shared-environment
-        sweep batches of :meth:`GroupedObservable.expectation_mps` (the
-        dense path batches by compiled flip masks instead).
+        simulator; tensor-train states route through
+        :meth:`GroupedObservable.expectation_mps` - shared-environment
+        sweep batches, or per-group compressed-MPO contractions when the
+        simulator's ``measurement`` knob says ``"mpo"`` (the dense path
+        batches by compiled flip masks instead).  Any executor works for
+        any state kind: out-of-process executors ship states through
+        their backend's registered transport
+        (:mod:`repro.parallel.transport`) and raise a structured
+        :class:`repro.common.errors.TransportError` when none exists.
         """
         from repro.simulators.mps import MPS
 
         grouped = self.grouped(hamiltonian, n_qubits)
         state = getattr(psi, "state", psi)  # unwrap an MPSSimulator
         if isinstance(state, MPS):
+            mode = "mpo" if getattr(psi, "measurement", None) == "mpo" \
+                else "sweep"
             return grouped.expectation_mps(state, self.executor,
-                                           self.counters)
+                                           self.counters, mode=mode)
         return grouped.expectation(psi, self.executor, self.counters)
 
     # -- reporting / lifecycle ------------------------------------------------

@@ -1,0 +1,318 @@
+"""Per-backend state transport: ship simulator states across processes.
+
+The process executor used to hard-code *one* way of moving a state to its
+workers - a dense amplitude vector copied into a single
+``multiprocessing.shared_memory`` segment - which made every other backend
+(most importantly the paper's MPS simulator) serial-only at level 2.  This
+module generalizes that special case into a small protocol:
+
+* a :class:`StateTransport` knows how to **export** one kind of state into
+  a shared-memory segment described by picklable :class:`BufferSpec`
+  records, and how to **attach** that export zero-copy in a worker
+  process;
+* :class:`TransportHandle` is the picklable ticket that crosses the pipe -
+  segment name + per-buffer layout + a transport-specific ``meta`` tuple -
+  so only descriptors travel, never the tensors themselves;
+* a registry (mirroring :mod:`repro.backends`) maps transport names to
+  implementations; :class:`repro.backends.BackendSpec` declares which
+  transport a backend's states use, and :func:`transport_for_state`
+  resolves the transport for a live state object.
+
+Two transports ship built-in:
+
+* ``dense_shm`` - a flat complex amplitude vector in one segment (the
+  statevector / fast-UCC path);
+* ``mps_shm`` - per-site tensor blocks plus the bond Schmidt vectors of a
+  right-canonical :class:`repro.simulators.mps.MPS`, reattached as a
+  read-only MPS view (mutation in a worker raises instead of silently
+  diverging from the parent).
+
+Worker-side arrays are views into the shared segment and are marked
+read-only; the parent owns the segment lifetime and unlinks it when the
+dispatch completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory as _shm
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.common.errors import TransportError, ValidationError
+from repro.obs import metrics as _obs
+
+# observability instruments (no-ops unless `repro.obs` is enabled)
+_M_EXPORTS = _obs.counter(
+    "transport.exports",
+    "state exports into shared memory, labelled by transport")
+_M_EXPORT_BYTES = _obs.counter(
+    "transport.export_bytes",
+    "bytes copied into shared segments, labelled by transport",
+    unit="byte")
+_M_ATTACHES = _obs.counter(
+    "transport.attaches",
+    "worker-side zero-copy reattachments, labelled by transport")
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """Layout of one ndarray inside a shared segment (picklable)."""
+
+    shape: tuple[int, ...]
+    dtype: str
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        size = int(np.prod(self.shape)) if self.shape else 1
+        return size * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class TransportHandle:
+    """Picklable description of one exported state.
+
+    ``transport`` names the registered :class:`StateTransport` a worker
+    uses to reattach; ``segment`` is the shared-memory name; ``specs``
+    lay out every packed array; ``meta`` carries transport-specific
+    reconstruction data (register width, state revision...).
+    """
+
+    transport: str
+    segment: str
+    specs: tuple[BufferSpec, ...]
+    meta: tuple = ()
+
+
+def _open_segment(name: str) -> _shm.SharedMemory:
+    """Attach an existing segment without registering it for cleanup."""
+    try:
+        # track=False (3.13+): the parent owns the segment lifetime; the
+        # worker must not register it with its resource tracker
+        return _shm.SharedMemory(name=name, track=False)
+    except TypeError:  # Python <= 3.12: attaching never registers
+        return _shm.SharedMemory(name=name)
+
+
+def _views(buf, specs: Iterable[BufferSpec],
+           writeable: bool = False) -> list[np.ndarray]:
+    """Array views over ``buf`` per spec (read-only unless asked)."""
+    out = []
+    for spec in specs:
+        view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                          buffer=buf, offset=spec.offset)
+        view.flags.writeable = writeable
+        out.append(view)
+    return out
+
+
+class ExportedState:
+    """Parent-side ticket for one export: handle + owned segment.
+
+    Use as a context manager around the dispatch; the segment is unlinked
+    on exit, after every worker has gathered what it needs.
+    """
+
+    def __init__(self, handle: TransportHandle, shm: _shm.SharedMemory):
+        self.handle = handle
+        self._shm: _shm.SharedMemory | None = shm
+
+    def views(self) -> list[np.ndarray]:
+        """Read-only parent-side views of the packed arrays."""
+        if self._shm is None:
+            raise ValidationError("export already closed")
+        return _views(self._shm.buf, self.handle.specs)
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # already unlinked
+                pass
+            self._shm = None
+
+    def __enter__(self) -> "ExportedState":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def _pack(name: str, arrays: Sequence[np.ndarray],
+          meta: tuple = ()) -> ExportedState:
+    """Copy ``arrays`` contiguously into one fresh segment."""
+    contiguous = [np.ascontiguousarray(a) for a in arrays]
+    specs: list[BufferSpec] = []
+    offset = 0
+    for a in contiguous:
+        specs.append(BufferSpec(shape=a.shape, dtype=a.dtype.str,
+                                offset=offset))
+        offset += a.nbytes
+    shm = _shm.SharedMemory(create=True, size=max(offset, 1))
+    for a, spec in zip(contiguous, specs):
+        view = np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf,
+                          offset=spec.offset)
+        view[:] = a
+    if _obs.REGISTRY.enabled:
+        _M_EXPORTS.inc(transport=name)
+        _M_EXPORT_BYTES.inc(offset, transport=name)
+    return ExportedState(
+        TransportHandle(transport=name, segment=shm.name,
+                        specs=tuple(specs), meta=meta), shm)
+
+
+class DenseStateTransport:
+    """Flat complex amplitude vector in one shared segment."""
+
+    name = "dense_shm"
+
+    def export(self, state: np.ndarray) -> ExportedState:
+        psi = np.ascontiguousarray(
+            np.asarray(state, dtype=complex).reshape(-1))
+        return _pack(self.name, [psi])
+
+    def attach(self, handle: TransportHandle
+               ) -> tuple[np.ndarray, Callable[[], None]]:
+        """Worker-side view of the amplitudes; call the closer when done."""
+        seg = _open_segment(handle.segment)
+        if _obs.REGISTRY.enabled:
+            _M_ATTACHES.inc(transport=self.name)
+        (psi,) = _views(seg.buf, handle.specs)
+        return psi, seg.close
+
+
+class MPSTensorTransport:
+    """Per-site tensor blocks + Schmidt vectors of a right-canonical MPS.
+
+    ``meta`` is ``(n_qubits, revision)``; the packed arrays are the
+    ``n_qubits`` site tensors followed by the ``n_qubits + 1`` bond
+    Schmidt vectors.  Reattachment produces an :class:`MPS` whose tensors
+    are *read-only* views into the segment - the measurement engines only
+    ever read, and an accidental in-place gate application in a worker
+    raises instead of corrupting a state the parent still owns.
+    """
+
+    name = "mps_shm"
+
+    def export(self, state) -> ExportedState:
+        arrays = list(state.tensors) + list(state.lambdas)
+        return _pack(self.name, arrays,
+                     meta=(state.n_qubits, state.revision))
+
+    def attach(self, handle: TransportHandle
+               ) -> tuple[Any, Callable[[], None]]:
+        """Worker-side read-only MPS over the shared tensor blocks."""
+        from repro.simulators.mps import MPS
+
+        n_qubits, revision = handle.meta
+        seg = _open_segment(handle.segment)
+        if _obs.REGISTRY.enabled:
+            _M_ATTACHES.inc(transport=self.name)
+        views = _views(seg.buf, handle.specs)
+        mps = MPS.from_attached(n_qubits, views[:n_qubits],
+                                views[n_qubits:], revision=revision)
+        return mps, seg.close
+
+
+# -- transport registry (mirrors repro.backends) -------------------------------
+
+
+_TRANSPORTS: dict[str, Any] = {}
+
+
+def register_transport(transport, *, overwrite: bool = False):
+    """Register a :class:`StateTransport` under its ``name``."""
+    key = transport.name.lower()
+    if key in _TRANSPORTS and not overwrite:
+        raise ValidationError(f"transport {key!r} is already registered")
+    _TRANSPORTS[key] = transport
+    return transport
+
+
+def unregister_transport(name: str) -> None:
+    """Remove a registration (mainly for tests of third-party plugging)."""
+    _TRANSPORTS.pop(name.lower(), None)
+
+
+def transport_spec(name: str):
+    """Look up a registered transport; raises with the known names listed."""
+    if not isinstance(name, str):
+        raise ValidationError(
+            f"transport name must be a string, got {name!r}")
+    hit = _TRANSPORTS.get(name.lower())
+    if hit is None:
+        raise TransportError(
+            f"unknown state transport {name!r}",
+            available=tuple(available_transports()))
+    return hit
+
+
+def available_transports() -> list[str]:
+    """Sorted names of registered transports."""
+    return sorted(_TRANSPORTS)
+
+
+register_transport(DenseStateTransport())
+register_transport(MPSTensorTransport())
+
+
+def transport_for_state(state) -> str | None:
+    """Transport name able to ship ``state``, or None when there is none.
+
+    Dense ndarray-like states ship through ``dense_shm``; tensor-train
+    states through ``mps_shm``; anything else may declare its transport
+    via a ``transport`` attribute (simulator wrappers are unwrapped by
+    the callers before reaching here).
+    """
+    declared = getattr(state, "transport", None)
+    if isinstance(declared, str):
+        return declared
+    if isinstance(state, np.ndarray):
+        return DenseStateTransport.name
+    # lazy: the executor path must not force the MPS stack into every
+    # process that only ever ships dense states
+    from repro.simulators.mps import MPS
+
+    if isinstance(state, MPS):
+        return MPSTensorTransport.name
+    return None
+
+
+def export_state(state) -> ExportedState:
+    """Export ``state`` through its resolved transport (or raise)."""
+    name = transport_for_state(state)
+    if name is None:
+        raise TransportError(
+            f"no state transport registered for "
+            f"{type(state).__name__!r}; the process executor can only "
+            f"ship states with a transport "
+            f"(registered: {', '.join(available_transports())})",
+            state_kind=type(state).__name__,
+            available=tuple(available_transports()))
+    return transport_spec(name).export(state)
+
+
+def attach_state(handle: TransportHandle) -> tuple[Any, Callable[[], None]]:
+    """Worker-side reattach; returns ``(state, closer)``."""
+    return transport_spec(handle.transport).attach(handle)
+
+
+__all__ = [
+    "BufferSpec",
+    "DenseStateTransport",
+    "ExportedState",
+    "MPSTensorTransport",
+    "TransportHandle",
+    "attach_state",
+    "available_transports",
+    "export_state",
+    "register_transport",
+    "transport_for_state",
+    "transport_spec",
+    "unregister_transport",
+]

@@ -23,8 +23,8 @@ Bond convention: ``lambdas[b]`` lives on the bond *left of* site ``b``
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 import numpy as np
 
@@ -61,8 +61,12 @@ _M_ROUTE_REQUESTS = _obs.counter(
     "mps.routing_plan.requests", "routing-plan lookups (non-trivial pairs)")
 _M_ROUTE_MISSES = _obs.counter(
     "mps.routing_plan.misses",
-    "routing plans actually derived (lru_cache misses); "
-    "hits = requests - misses")
+    "routing plans actually derived (cache misses)")
+_M_ROUTE_HITS = _obs.counter(
+    "mps.routing_plan.hits", "routing plans answered from the cache")
+_M_ROUTE_EVICTIONS = _obs.counter(
+    "mps.routing_plan.evictions",
+    "least-recently-used routing plans dropped at the size bound")
 
 _SWAP = np.array([[1, 0, 0, 0],
                   [0, 0, 1, 0],
@@ -197,6 +201,30 @@ class MPS:
                               + 1j * rng.standard_normal(shape))
         mps._canonicalize()
         mps.stats = TruncationStats()  # construction is not evolution
+        return mps
+
+    @classmethod
+    def from_attached(cls, n_qubits: int, tensors, lambdas, *,
+                      revision: int = 0, **kwargs) -> "MPS":
+        """Wrap externally owned tensor buffers as an MPS (no copies).
+
+        The worker-side entry point of the ``mps_shm`` state transport
+        (:mod:`repro.parallel.transport`): ``tensors`` and ``lambdas`` are
+        typically read-only views into a shared-memory segment the parent
+        process owns, and ``revision`` restores the exporter's revision
+        counter so measurement-side caches key consistently.  The wrapped
+        state is only safe to *measure*; applying gates to read-only
+        buffers raises.
+        """
+        if len(tensors) != n_qubits or len(lambdas) != n_qubits + 1:
+            raise ValidationError(
+                f"attached buffers do not describe {n_qubits} sites: "
+                f"{len(tensors)} tensors, {len(lambdas)} bond vectors"
+            )
+        mps = cls(n_qubits, **kwargs)
+        mps.tensors = list(tensors)
+        mps.lambdas = list(lambdas)
+        mps.revision = int(revision)
         return mps
 
     # -- canonical form -------------------------------------------------------
@@ -526,23 +554,51 @@ class RoutingPlan:
         return len(self.swaps_in) + len(self.swaps_out)
 
 
-@lru_cache(maxsize=4096)
+#: bounded LRU of derived routing plans; every circuit ansatz reuses a
+#: handful of pairs, so the bound only matters for adversarial gate streams
+_ROUTING_CACHE: "OrderedDict[tuple[int, int], RoutingPlan]" = OrderedDict()
+_ROUTING_CACHE_MAX = 1024
+
+
 def routing_plan(q1: int, q2: int) -> RoutingPlan:
     """The memoized swap schedule routing a (q1, q2) gate onto the chain.
 
     Matches the recursive route the simulator historically produced: q1's
     content walks site by site until adjacent to q2, the gate acts there
     (permuted when the pair arrives in (high, low) order), and the walk is
-    retraced.  The plan is a pure function of the pair, so the lru_cache
-    makes every later gate on the same pair a dictionary hit.
+    retraced.  Plans are pure functions of the pair and live in a bounded
+    LRU (:data:`_ROUTING_CACHE_MAX` entries) whose hits, misses and
+    evictions are exported as ``mps.routing_plan.*`` counters.
     """
+    key = (q1, q2)
+    hit = _ROUTING_CACHE.get(key)
+    if hit is not None:
+        _ROUTING_CACHE.move_to_end(key)
+        _M_ROUTE_HITS.inc()
+        return hit
     if q1 == q2:
         raise ValidationError("two-qubit gate needs distinct qubits")
-    _M_ROUTE_MISSES.inc()  # this body only runs on an lru_cache miss
+    _M_ROUTE_MISSES.inc()
     if q1 < q2:
         swaps_in = tuple(range(q1, q2 - 1))
-        return RoutingPlan(swaps_in=swaps_in, gate_site=q2 - 1,
+        plan = RoutingPlan(swaps_in=swaps_in, gate_site=q2 - 1,
                            permute=False, swaps_out=swaps_in[::-1])
-    swaps_in = tuple(range(q1 - 1, q2, -1))
-    return RoutingPlan(swaps_in=swaps_in, gate_site=q2,
-                       permute=True, swaps_out=swaps_in[::-1])
+    else:
+        swaps_in = tuple(range(q1 - 1, q2, -1))
+        plan = RoutingPlan(swaps_in=swaps_in, gate_site=q2,
+                           permute=True, swaps_out=swaps_in[::-1])
+    if len(_ROUTING_CACHE) >= _ROUTING_CACHE_MAX:
+        _ROUTING_CACHE.popitem(last=False)
+        _M_ROUTE_EVICTIONS.inc()
+    _ROUTING_CACHE[key] = plan
+    return plan
+
+
+def _routing_cache_info() -> dict:
+    """Size/bound snapshot of the routing-plan LRU (tests, debugging)."""
+    return {"size": len(_ROUTING_CACHE), "maxsize": _ROUTING_CACHE_MAX}
+
+
+# lru_cache-compatible management surface (tests and callers use these)
+routing_plan.cache_clear = _ROUTING_CACHE.clear
+routing_plan.cache_info = _routing_cache_info

@@ -31,6 +31,8 @@ operator-batching strategy of arXiv:2211.07983 and arXiv:2303.03681):
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,6 +68,9 @@ _M_MPO_CACHE = _obs.counter(
 _M_TERM_CACHE = _obs.counter(
     "mps_measure.term_value_cache_hits",
     "evaluations answered entirely from the per-revision term-value cache")
+_M_L3_SLICES = _obs.counter(
+    "mps_measure.level3_slices",
+    "fixed-size row slices dispatched by the level-3 bond-sliced GEMMs")
 
 _PAULI_MATS = {
     "X": np.array([[0, 1], [1, 0]], dtype=complex),
@@ -363,6 +368,105 @@ def clear_measurement_caches() -> None:
     _MPO_CACHE.clear()
 
 
+# -- level 3: bond-sliced batched GEMMs ---------------------------------------
+#
+# The paper's third parallel level splits the *tensor contractions
+# themselves* across compute elements.  Here that is realized by slicing
+# the site-major (rows, D, D) environment frontiers into fixed-size row
+# slices and running each slice's pair of GEMMs on a thread (BLAS releases
+# the GIL).  Each batch element of a 3D ``np.matmul`` is an independent
+# GEMM, so slicing along the row axis is *bitwise identical* to the
+# unsliced call - the invariant the level-3 determinism test pins.  The
+# slice partition is a pure function of (rows, slice_rows), never of the
+# worker count, so `mps_measure.level3_slices` totals are reproducible.
+
+_LEVEL3 = {"workers": 1, "slice_rows": 32, "pool": None, "pid": None}
+
+
+def configure_level3(workers: int | None = None,
+                     slice_rows: int | None = None) -> tuple[int, int]:
+    """Set the level-3 engine knobs; returns the active (workers, rows).
+
+    ``workers=1`` (the default) keeps the unsliced single-call path;
+    ``workers>1`` dispatches ``slice_rows``-row frontier slices onto a
+    process-local thread pool.  The executor layer ships this config to
+    pool workers so level 3 behaves identically in every process.
+    """
+    if workers is not None:
+        workers = int(workers)
+        if workers < 1:
+            raise ValidationError("level-3 worker count must be >= 1")
+        if workers != _LEVEL3["workers"] and _LEVEL3["pool"] is not None:
+            _LEVEL3["pool"].shutdown(wait=False)
+            _LEVEL3["pool"] = None
+        _LEVEL3["workers"] = workers
+    if slice_rows is not None:
+        slice_rows = int(slice_rows)
+        if slice_rows < 1:
+            raise ValidationError("level-3 slice_rows must be >= 1")
+        _LEVEL3["slice_rows"] = slice_rows
+    return level3_config()
+
+
+def level3_config() -> tuple[int, int]:
+    """The active level-3 configuration as a picklable (workers, rows)."""
+    return (_LEVEL3["workers"], _LEVEL3["slice_rows"])
+
+
+def _level3_pool() -> ThreadPoolExecutor:
+    """Process-local slice pool, rebuilt after a fork (dead threads)."""
+    if _LEVEL3["pool"] is None or _LEVEL3["pid"] != os.getpid():
+        _LEVEL3["pool"] = ThreadPoolExecutor(max_workers=_LEVEL3["workers"])
+        _LEVEL3["pid"] = os.getpid()
+    return _LEVEL3["pool"]
+
+
+def _advance_left(env: np.ndarray, bk: np.ndarray,
+                  bc: np.ndarray) -> np.ndarray:
+    """Advance left environments through one site: two batched GEMMs."""
+    dl, _, dr = bk.shape
+    # a[k, m, (i, r)] = sum_l env_k[l, m] bk[l, i, r]
+    a = np.matmul(env.transpose(0, 2, 1), bk.reshape(dl, 2 * dr))
+    # env'_k[r, s] = sum_{m,i} a[k, (m,i), r] conj(b)[(m,i), s]
+    return np.matmul(a.reshape(env.shape[0], dl * 2, dr).transpose(0, 2, 1),
+                     bc.reshape(dl * 2, dr))
+
+
+def _advance_right(env: np.ndarray, bk: np.ndarray,
+                   bc: np.ndarray) -> np.ndarray:
+    """Advance right environments through one site: two batched GEMMs."""
+    dl, _, dr = bk.shape
+    # t[k, (l, i), s] = sum_r bk[(l, i), r] env_k[r, s]
+    t = np.matmul(bk.reshape(dl * 2, dr), env)
+    # env'_k[l, m] = sum_{i,s} t[k, l, (i,s)] conj(b)[m, (i,s)]
+    return np.matmul(t.reshape(env.shape[0], dl, 2 * dr),
+                     bc.reshape(dl, 2 * dr).T)
+
+
+def _dispatch_advance(advance, env: np.ndarray, bk: np.ndarray,
+                      bc: np.ndarray, out: np.ndarray,
+                      dst: np.ndarray) -> None:
+    """Run one advance group, bond-slicing it when level 3 is active.
+
+    Writes ``out[dst[a:b]] = advance(env[a:b], ...)`` per fixed-size row
+    slice; destination rows within one group are disjoint, so slice
+    threads never race on ``out``.
+    """
+    rows = env.shape[0]
+    step = _LEVEL3["slice_rows"]
+    if _LEVEL3["workers"] <= 1 or rows <= step:
+        out[dst] = advance(env, bk, bc)
+        return
+    starts = range(0, rows, step)
+    if _obs.REGISTRY.enabled:
+        _M_L3_SLICES.inc(len(starts))
+    pool = _level3_pool()
+    futures = [pool.submit(advance, env[a:a + step], bk, bc)
+               for a in starts]
+    for a, fut in zip(starts, futures):
+        out[dst[a:a + step]] = fut.result()
+
+
 # -- cost model ---------------------------------------------------------------
 
 
@@ -526,18 +630,12 @@ class MPSMeasurementEngine:
             for ch, src, dst in plan.adv_l[q]:
                 bk = self._site_op(q, ch)
                 bc = self._site_conj(q)
-                dl, _, dr = bk.shape
-                # a[k, m, (i, r)] = sum_l env_k[l, m] bk[l, i, r]
-                a = np.matmul(frontier[src].transpose(0, 2, 1),
-                              bk.reshape(dl, 2 * dr))
-                # env'_k[r, s] = sum_{m,i} a[k, (m,i), r] conj(b)[(m,i), s]
-                out = np.matmul(
-                    a.reshape(src.size, dl * 2, dr).transpose(0, 2, 1),
-                    bc.reshape(dl * 2, dr))
+                dr = bk.shape[2]
                 if nxt is None:
                     nxt = np.empty((plan.frontier_l[q + 1], dr, dr),
                                    dtype=complex)
-                nxt[dst] = out
+                _dispatch_advance(_advance_left, frontier[src], bk, bc,
+                                  nxt, dst)
             frontier = nxt
         # right sweep: grow suffix environments from the closing-matrix
         # seeds, combining each split bond's held left rows on the way
@@ -553,13 +651,8 @@ class MPSMeasurementEngine:
             for ch, src, dst in plan.adv_r[b]:
                 bk = self._site_op(b, ch)
                 bc = self._site_conj(b)
-                dl, _, dr = bk.shape
-                # t[k, (l, i), s] = sum_r bk[(l, i), r] env_k[r, s]
-                t = np.matmul(bk.reshape(dl * 2, dr), frontier[src])
-                # env'_k[l, m] = sum_{i,s} t[k, l, (i,s)] conj(b)[m, (i,s)]
-                out = np.matmul(t.reshape(src.size, dl, 2 * dr),
-                                bc.reshape(dl, 2 * dr).T)
-                nxt[dst] = out
+                _dispatch_advance(_advance_right, frontier[src], bk, bc,
+                                  nxt, dst)
             frontier = nxt
             rrows, tidx = plan.combos[b]
             if tidx.size:
@@ -643,5 +736,7 @@ __all__ = [
     "build_sweep_plan",
     "clear_measurement_caches",
     "compiled_mpo",
+    "configure_level3",
+    "level3_config",
     "sweep_plan",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backends import backend_spec, resolve_backend
-from repro.common.errors import ValidationError
+from repro.common.errors import TransportError, ValidationError
 from repro.circuits.circuit import Circuit
 from repro.circuits.gates import Gate, controlled_pauli_gate
 from repro.obs import metrics as _obs
@@ -91,10 +91,14 @@ class EnergyEvaluator:
         registered executor ("serial" | "thread" | "process"), the
         Hamiltonian is partitioned once into worker-count-independent
         Pauli-group batches, and each direct evaluation dispatches the
-        prepared statevector (shared memory on the process executor) to
-        the pool with deterministic reduction - energies are bitwise
-        identical across executors and worker counts.  Requires a
-        backend advertising ``shareable_state`` and the direct method.
+        prepared state - dense amplitudes or MPS tensor blocks, shipped
+        through the backend's registered state transport on the process
+        executor (:mod:`repro.parallel.transport`) - to the pool with
+        deterministic reduction: energies are bitwise identical across
+        executors and worker counts.  Requires a backend declaring a
+        ``transport`` on its :class:`repro.backends.BackendSpec` and the
+        direct method; a backend without one (e.g. 'density_matrix')
+        raises a structured :class:`repro.common.errors.TransportError`.
         Call :meth:`close` when done to release the worker pool.
     """
 
@@ -136,12 +140,15 @@ class EnergyEvaluator:
                 raise ValidationError(
                     "the parallel measurement path requires method='direct'"
                 )
-            if not spec.shareable_state:
-                raise ValidationError(
-                    f"backend {simulator!r} does not expose a shareable "
-                    f"dense state; the parallel path needs one (e.g. "
-                    f"'statevector')"
-                )
+            if spec.transport is None:
+                from repro.parallel.transport import available_transports
+
+                raise TransportError(
+                    f"backend {simulator!r} declares no state transport; "
+                    f"the parallel path needs a shareable state (e.g. "
+                    f"'statevector' or 'mps')",
+                    backend=simulator, executor=parallel,
+                    available=tuple(available_transports()))
         self.hamiltonian = hamiltonian
         self.ansatz = ansatz
         self.simulator = simulator
@@ -262,6 +269,16 @@ class EnergyEvaluator:
             return grouped.expectation(sim.statevector(),
                                        executor=executor,
                                        counters=counters)
+        if self.parallel is not None:
+            from repro.simulators.mps import MPS
+
+            state = getattr(sim, "state", None)
+            if isinstance(state, MPS):
+                grouped, executor, counters = self._parallel_engine()
+                _M_PARALLEL_EVALS.inc(executor=executor.name)
+                mode = "mpo" if self.measurement == "mpo" else "sweep"
+                return grouped.expectation_mps(state, executor=executor,
+                                               counters=counters, mode=mode)
         if (getattr(sim, "natively_dense", False)
                 and self.n_qubits <= MAX_COMPILED_QUBITS):
             # compiled once per Hamiltonian: O(#distinct masks) gathers per

@@ -170,3 +170,58 @@ class TestRunCase:
     def test_unknown_case_rejected(self):
         with pytest.raises(KeyError):
             run_case("nope")
+
+    def test_mps_parallel_case_record(self):
+        record = run_case("lih_mps_proc_sweep_w2")
+        assert record["molecule"] == "lih"
+        assert record["workers"] == 2
+        assert record["wall_s"] > 0.0
+        # the sharded sweep ships the state once and attaches per worker
+        assert record["counters"]["transport.exports"] == 1
+        assert record["counters"]["transport.attaches"] == 2
+        validate_ledger({"schema": BENCH_SCHEMA,
+                         "cases": {"lih_mps_proc_sweep_w2": record}})
+
+    def test_mps_parallel_cases_are_listed(self):
+        from repro.obs.bench import _known_cases, _QUICK_CASES
+
+        known = _known_cases()
+        for name in ("lih_mps_proc_sweep_w1", "lih_mps_proc_sweep_w2",
+                     "lih_mps_proc_sweep_w4", "lih_mps_proc_mpo_w2"):
+            assert name in known
+        assert "lih_mps_proc_sweep_w2" in _QUICK_CASES
+
+
+class TestMPSSpeedupGate:
+    def _doc(self, w1: float, w4: float) -> dict:
+        return {"cases": {
+            "lih_mps_proc_sweep_w1": {"wall_s": w1},
+            "lih_mps_proc_sweep_w4": {"wall_s": w4},
+        }}
+
+    def test_speedup_ratio(self):
+        from repro.obs.bench import mps_speedup
+
+        speedup, _ = mps_speedup(self._doc(0.3, 0.1))
+        assert speedup == pytest.approx(3.0)
+
+    def test_absent_cases_report_none(self):
+        from repro.obs.bench import mps_speedup
+
+        assert mps_speedup({"cases": {}}) == (None, False)
+
+    def test_wall_gate_skipped_for_ungated_cases(self):
+        base = _ledger()
+        base["cases"]["lih_mps_sweep"]["wall_gated"] = False
+        cur = copy.deepcopy(base)
+        cur["cases"]["lih_mps_sweep"]["wall_s"] *= 10
+        cur["cases"]["lih_mps_sweep"]["wall_rel"] *= 10
+        assert compare_ledgers(cur, base) == []
+
+    def test_enforceable_tracks_core_count(self, monkeypatch):
+        import repro.obs.bench as bench
+
+        monkeypatch.setattr(bench, "available_cores", lambda: 1)
+        assert bench.mps_speedup(self._doc(0.3, 0.1))[1] is False
+        monkeypatch.setattr(bench, "available_cores", lambda: 8)
+        assert bench.mps_speedup(self._doc(0.3, 0.1))[1] is True

@@ -36,6 +36,8 @@ MPS_BUDGETS = {
         "mps.swap": 0,
         "mps.routing_plan.requests": 43,
         "mps.routing_plan.misses": 3,
+        "mps.routing_plan.hits": 40,
+        "mps.routing_plan.evictions": 0,
         "mps_measure.env_steps": 21,
         "mps_measure.gemm_calls": 22,
     },
@@ -45,6 +47,8 @@ MPS_BUDGETS = {
         "mps.swap": 0,
         "mps.routing_plan.requests": 43,
         "mps.routing_plan.misses": 3,
+        "mps.routing_plan.hits": 40,
+        "mps.routing_plan.evictions": 0,
         "mps_measure.env_steps": 0,
         "mps_measure.gemm_calls": 0,
     },
@@ -54,6 +58,8 @@ MPS_BUDGETS = {
         "mps.swap": 0,
         "mps.routing_plan.requests": 43,
         "mps.routing_plan.misses": 3,
+        "mps.routing_plan.hits": 40,
+        "mps.routing_plan.evictions": 0,
         "mps_measure.env_steps": 0,
         "mps_measure.gemm_calls": 0,
     },
@@ -63,6 +69,8 @@ MPS_BUDGETS = {
         "mps.swap": 7680,
         "mps.routing_plan.requests": 6769,
         "mps.routing_plan.misses": 31,
+        "mps.routing_plan.hits": 6738,
+        "mps.routing_plan.evictions": 0,
         "mps_measure.env_steps": 1767,
         "mps_measure.gemm_calls": 86,
     },
@@ -72,6 +80,8 @@ MPS_BUDGETS = {
         "mps.swap": 7680,
         "mps.routing_plan.requests": 6769,
         "mps.routing_plan.misses": 31,
+        "mps.routing_plan.hits": 6738,
+        "mps.routing_plan.evictions": 0,
         "mps_measure.env_steps": 0,
         "mps_measure.gemm_calls": 0,
     },
@@ -259,6 +269,68 @@ class TestProcessParity:
         ham, ansatz = _hamiltonian_and_ansatz(h2)
         return _measured_energy(ham, ansatz, simulator="statevector",
                                 parallel=executor, n_workers=workers)
+
+
+class TestMPSProcessParity:
+    """MPS measurement through the state-transport layer: the sharded
+    sweep/MPO path must reproduce the serial executor bitwise, with
+    exact counter parity, at any process worker count.
+
+    Counter-parity reasoning: caches are cleared before each run and the
+    process pool forks afterwards, so every group's sweep plan (or
+    compressed MPO) is built exactly once, in exactly one worker.
+    """
+
+    #: totals that are pure functions of one cold-cache MPS evaluation,
+    #: independent of executor kind and worker count
+    MPS_EVAL_COUNTERS = (
+        "mps.gate_2q", "mps.svd", "mps.swap",
+        "mps.routing_plan.requests", "mps.routing_plan.misses",
+        "mps_measure.evaluations", "mps_measure.env_steps",
+        "mps_measure.gemm_calls", "mps_measure.plan_cache",
+        "mps_measure.mpo_cache",
+        "parallel.tasks", "parallel.dispatches",
+        "vqe.ansatz_runs", "vqe.energy_evaluations",
+    )
+
+    def _run(self, solved, mode, executor, workers):
+        ham, ansatz = _hamiltonian_and_ansatz(solved)
+        return _measured_energy(ham, ansatz, simulator="mps",
+                                measurement=mode,
+                                parallel=executor, n_workers=workers)
+
+    @pytest.mark.parametrize("mode", ["sweep", "mpo"])
+    def test_h2_energy_and_counters_match_serial(self, h2, mode):
+        e_serial, reg = self._run(h2, mode, "serial", 1)
+        base = TestProcessParity._totals(reg, self.MPS_EVAL_COUNTERS)
+        e_thread, reg_t = self._run(h2, mode, "thread", 2)
+        assert e_thread == e_serial
+        assert TestProcessParity._totals(reg_t,
+                                         self.MPS_EVAL_COUNTERS) == base
+        for workers in (1, 2, 4):
+            energy, reg_p = self._run(h2, mode, "process", workers)
+            assert energy == e_serial
+            assert TestProcessParity._totals(
+                reg_p, self.MPS_EVAL_COUNTERS) == base
+
+    def test_lih_sweep_acceptance(self, lih):
+        """The ISSUE 6 acceptance pin: LiH MPS energy via the process
+        executor is bitwise identical to serial at 1/2/4 workers, with
+        exact obs counter parity."""
+        e_serial, reg = self._run(lih, "sweep", "serial", 1)
+        base = TestProcessParity._totals(reg, self.MPS_EVAL_COUNTERS)
+        for workers in (1, 2, 4):
+            energy, reg_p = self._run(lih, "sweep", "process", workers)
+            assert energy == e_serial
+            assert TestProcessParity._totals(
+                reg_p, self.MPS_EVAL_COUNTERS) == base
+
+    def test_transport_counters_present_on_process_path(self, h2):
+        _, reg = self._run(h2, "sweep", "process", 2)
+        totals = TestProcessParity._totals(
+            reg, ("transport.exports", "transport.attaches"))
+        assert totals["transport.exports"] == 1
+        assert totals["transport.attaches"] == 2  # one per worker task
 
 
 class TestWorkerObsLifecycle:

@@ -130,10 +130,38 @@ class TestParallelPath:
         with pytest.raises(ValidationError, match="direct"):
             self._evaluator(method="hadamard", parallel="thread")
 
-    def test_requires_shareable_backend(self):
-        with pytest.raises(ValidationError, match="shareable"):
+    def test_requires_transport_capable_backend(self):
+        from repro.common.errors import TransportError
+
+        # density_matrix declares no state transport on its BackendSpec,
+        # so the capability check fails with a structured error
+        with pytest.raises(TransportError) as exc:
             EnergyEvaluator(self.ham, self.ansatz.circuit(),
-                            simulator="mps", parallel="thread")
+                            simulator="density_matrix", parallel="thread")
+        assert exc.value.backend == "density_matrix"
+        assert exc.value.executor == "thread"
+        assert "dense_shm" in exc.value.available
+        assert "mps_shm" in exc.value.available
+        # a TransportError is still a ValidationError for legacy catchers
+        assert isinstance(exc.value, ValidationError)
+
+    def test_mps_backend_allowed_on_parallel_path(self):
+        # the mps backend now declares the mps_shm transport: construction
+        # succeeds, the process energy matches the serial executor bitwise
+        # (same grouped Kahan reduction) and the non-parallel evaluator
+        # (one whole-Hamiltonian sweep, different summation order) to tol
+        direct = EnergyEvaluator(self.ham, self.ansatz.circuit(),
+                                 simulator="mps", max_bond_dimension=16)
+        with EnergyEvaluator(self.ham, self.ansatz.circuit(),
+                             simulator="mps", max_bond_dimension=16,
+                             parallel="serial") as base, \
+             EnergyEvaluator(self.ham, self.ansatz.circuit(),
+                             simulator="mps", max_bond_dimension=16,
+                             parallel="process", n_workers=2) as ev:
+            energy = ev.energy(self.theta)
+            assert energy == base.energy(self.theta)
+            assert energy == pytest.approx(direct.energy(self.theta),
+                                           abs=1e-10)
 
     def test_close_idempotent(self):
         ev = self._evaluator(parallel="thread", n_workers=2)
