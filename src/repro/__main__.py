@@ -93,9 +93,14 @@ def _run_energy(args) -> int:
             from repro.simulators.mps_measure import configure_level3
 
             configure_level3(workers=args.level3_workers)
+        # --grad switches the optimizer from energy-only (cobyla) to a
+        # gradient consumer (adam unless --optimizer says otherwise)
+        optimizer = args.optimizer or ("adam" if args.grad else "cobyla")
         res = job.vqe_energy(simulator=args.simulator,
                              max_bond_dimension=args.bond_dimension,
                              measurement=args.measurement,
+                             optimizer=optimizer, grad=args.grad,
+                             max_iterations=args.max_iterations,
                              parallel=parallel, n_workers=args.workers)
         print(f"E(VQE)  = {res.energy:+.8f} Ha "
               f"({res.n_evaluations} evaluations, {res.optimizer})")
@@ -215,6 +220,19 @@ def build_parser() -> argparse.ArgumentParser:
                          "environment sweep, compressed-MPO contraction, "
                          "per-term oracle, or cost-model auto (backends "
                          "without the knob reject this flag)")
+    pe.add_argument("--grad", default=None,
+                    choices=["adjoint", "param_shift", "finite_diff"],
+                    help="gradient source for gradient-based VQE "
+                         "optimizers; 'adjoint' computes all partials "
+                         "analytically from one forward + one backward "
+                         "sweep (backends declaring the capability: "
+                         "statevector, mps)")
+    pe.add_argument("--optimizer", default=None,
+                    help="VQE optimizer: cobyla | l-bfgs-b | bfgs | slsqp "
+                         "| nelder-mead | powell | spsa | adam (default: "
+                         "adam with --grad, cobyla without)")
+    pe.add_argument("--max-iterations", type=int, default=4000,
+                    help="VQE optimizer iteration budget")
     pe.add_argument("--workers", type=int, default=1,
                     help="worker count for the parallel execution engine: "
                          "DMET fragments (level 1) and VQE Pauli-group "

@@ -100,6 +100,13 @@ class BackendSpec:
     ``measurement=...`` factory option (currently the MPS backend:
     "auto" | "sweep" | "mpo" | "per_term"); empty means the backend has a
     single built-in measurement path.
+
+    ``gradients`` advertises the *analytic* gradient engines the VQE
+    gradient layer (:mod:`repro.vqe.gradients`) can run against this
+    backend - currently ``"adjoint"`` on the statevector (exact dense
+    oracle) and MPS (two-state tensor-network sweep) backends.  The
+    universal ``param_shift`` / ``finite_diff`` sources are not listed:
+    they only need circuit execution / an energy callable.
     """
 
     name: str
@@ -121,6 +128,10 @@ class BackendSpec:
     measurement_modes: tuple[str, ...] = field(default=())
     #: the mode used when the caller does not pick one (None: no knob)
     default_measurement: str | None = None
+    #: analytic gradient engines available for this backend (see
+    #: :mod:`repro.vqe.gradients`); empty means only the universal
+    #: parameter-shift / finite-difference sources apply
+    gradients: tuple[str, ...] = field(default=())
 
     def create(self, n_qubits: int, **opts) -> Any:
         """Instantiate the backend for ``n_qubits`` (circuit kind only)."""
@@ -143,6 +154,7 @@ def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
                      transport: str | None = None,
                      measurement_modes: tuple[str, ...] = (),
                      default_measurement: str | None = None,
+                     gradients: tuple[str, ...] = (),
                      overwrite: bool = False) -> BackendSpec:
     """Register a backend under ``name`` (third parties welcome).
 
@@ -166,6 +178,9 @@ def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
     measurement_modes, default_measurement:
         Observable-evaluation strategies selectable via a ``measurement=``
         factory option (see :class:`BackendSpec`).
+    gradients:
+        Analytic gradient engines the VQE gradient layer may run against
+        the backend (see :class:`BackendSpec`).
     overwrite:
         Allow replacing an existing registration.
     """
@@ -196,7 +211,8 @@ def register_backend(name: str, factory: Callable[..., Any] | None = None, *,
                        shareable_state=transport is not None,
                        transport=transport,
                        measurement_modes=modes,
-                       default_measurement=default_measurement)
+                       default_measurement=default_measurement,
+                       gradients=tuple(gradients))
     _REGISTRY[key] = spec
     return spec
 
@@ -290,6 +306,7 @@ register_backend(
                 "batched compiled-observable measurement",
     options=("max_qubits",),
     shareable_state=True,
+    gradients=("adjoint",),
 )
 register_backend(
     "mps", _make_mps,
@@ -304,6 +321,7 @@ register_backend(
     # the backend parity tests assert the two tuples match
     measurement_modes=("auto", "sweep", "mpo", "per_term"),
     default_measurement="auto",
+    gradients=("adjoint",),
 )
 register_backend(
     "density_matrix", _make_density_matrix,

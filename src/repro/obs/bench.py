@@ -84,6 +84,14 @@ _MPS_PARALLEL_CASES: dict[str, tuple[int, int, int, dict]] = {
                                         "workers": 2, "mode": "mpo"}),
 }
 
+#: adjoint-gradient cases: one analytic gradient of the UCCSD ansatz at
+#: theta = 0 - all P partials from a single forward + backward sweep
+#: (see :mod:`repro.vqe.gradients`); name -> (molecule, evaluator kwargs)
+_GRADIENT_CASES: dict[str, tuple[str, dict]] = {
+    "lih_adjoint_grad": ("lih", {"simulator": "mps",
+                                 "max_bond_dimension": 16}),
+}
+
 #: the CI-friendly subset (seconds, not minutes, on one core)
 _QUICK_CASES = ("h2_sv_direct", "h2_mps_sweep", "h2_mps_mpo",
                 "h2_threelevel_w1", "h2_threelevel_w2",
@@ -94,10 +102,15 @@ _QUICK_CASES = ("h2_sv_direct", "h2_mps_sweep", "h2_mps_mpo",
 MPS_SPEEDUP_TARGET = 1.5
 MPS_SPEEDUP_CASES = ("lih_mps_proc_sweep_w1", "lih_mps_proc_sweep_w4")
 
+#: pinned adjoint-gradient acceptance: energy-evaluation-equivalents per
+#: optimizer step must undercut gate-wise parameter shift by this factor
+ADJOINT_EVAL_RATIO_TARGET = 5.0
+ADJOINT_RATIO_CASE = "lih_adjoint_grad"
+
 
 def _known_cases() -> list[str]:
-    """All case names, evaluator-based and MPS-parallel alike."""
-    return list(_CASES) + list(_MPS_PARALLEL_CASES)
+    """All case names: evaluator-based, MPS-parallel and gradient."""
+    return list(_CASES) + list(_MPS_PARALLEL_CASES) + list(_GRADIENT_CASES)
 
 
 def available_cores() -> int:
@@ -126,6 +139,23 @@ def mps_speedup(doc: dict) -> tuple[float | None, bool]:
     except KeyError:
         return None, False
     return w1 / w4, available_cores() >= 4
+
+
+def adjoint_eval_ratio(doc: dict) -> float | None:
+    """Eval-equivalents advantage of the pinned adjoint-gradient case.
+
+    The ratio ``param_shift_eval_equivalents / adjoint_eval_equivalents``
+    recorded by :data:`ADJOINT_RATIO_CASE` - how many fewer
+    energy-evaluation-equivalents one adjoint gradient costs per
+    optimizer step than gate-wise parameter shift (2 per parametric
+    gate).  A pure function of the circuit, so unlike the wall-clock
+    speedup gates it is always enforceable.  None when the case is
+    absent from the ledger.
+    """
+    record = doc.get("cases", {}).get(ADJOINT_RATIO_CASE)
+    if record is None:
+        return None
+    return record.get("eval_equivalents_ratio")
 
 
 # molecule name -> (hamiltonian, ansatz circuit); built once per run
@@ -245,10 +275,74 @@ def _run_mps_parallel_case(name: str) -> dict:
     }
 
 
+def _run_gradient_case(name: str) -> dict:
+    """One adjoint gradient of the pinned ansatz at theta = 0.
+
+    Times :func:`repro.vqe.gradients.adjoint_gradient` - the single
+    forward + backward sweep returning every partial derivative - and
+    records the eval-equivalents comparison against gate-wise parameter
+    shift (2 energy evaluations per parametric gate), the pinned
+    >= :data:`ADJOINT_EVAL_RATIO_TARGET` acceptance of the adjoint
+    gradient engine.  Cold instrumented run first, then a warm timed
+    re-run that must reproduce the gradient bitwise.
+    """
+    from repro.vqe.energy import EnergyEvaluator
+    from repro.vqe.gradients import (
+        ADJOINT_EVAL_EQUIVALENTS,
+        adjoint_gradient,
+        n_parametric_gates,
+    )
+
+    molecule, kwargs = _GRADIENT_CASES[name]
+    ham, ansatz = _system(molecule)
+    theta = np.zeros(ansatz.n_parameters)
+    _clear_caches()
+    evaluator = EnergyEvaluator(ham, ansatz, **kwargs)
+    try:
+        with obs.collect() as reg:
+            grad = adjoint_gradient(evaluator, theta)
+            snap = reg.snapshot()
+        t0 = time.perf_counter()
+        grad_warm = adjoint_gradient(evaluator, theta)
+        wall_s = time.perf_counter() - t0
+    finally:
+        evaluator.close()
+    if float(np.max(np.abs(grad_warm - grad))) > 0.0:
+        raise AssertionError(
+            f"{name}: warm gradient re-evaluation drifted"
+        )
+    counters = {
+        metric: float(sum(slot["value"] for slot in inst["values"]))
+        for metric, inst in snap.items() if inst["type"] == "counter"
+    }
+    n_gates = n_parametric_gates(ansatz)
+    return {
+        "molecule": molecule,
+        # the ledger gates one scalar per case; for gradient cases that
+        # is the gradient 2-norm (deterministic, rtol-compared)
+        "energy": float(np.linalg.norm(grad)),
+        "wall_s": wall_s,
+        # the backward sweep is python-dispatch-bound (thousands of tiny
+        # gate GEMMs), so wall_rel does not transfer across machines;
+        # counters and the eval-equivalents ratio gate instead
+        "wall_gated": False,
+        "n_parameters": int(ansatz.n_parameters),
+        "n_parametric_gates": n_gates,
+        "adjoint_eval_equivalents": ADJOINT_EVAL_EQUIVALENTS,
+        "param_shift_eval_equivalents": 2 * n_gates,
+        "eval_equivalents_ratio":
+            (2.0 * n_gates) / ADJOINT_EVAL_EQUIVALENTS,
+        "counters": counters,
+        "cost": cost_report(snap, wall_s=wall_s),
+    }
+
+
 def run_case(name: str) -> dict:
     """Run one pinned case; returns its ledger record."""
     if name in _MPS_PARALLEL_CASES:
         return _run_mps_parallel_case(name)
+    if name in _GRADIENT_CASES:
+        return _run_gradient_case(name)
     molecule, kwargs = _CASES[name]
     ham, ansatz = _system(molecule)
     from repro.vqe.energy import EnergyEvaluator
@@ -285,6 +379,7 @@ def run_case(name: str) -> dict:
 
 def run_suite(quick: bool = False, cases: list[str] | None = None) -> dict:
     """Run the pinned suite; returns the ledger document."""
+    subset = quick or cases is not None
     if cases is None:
         cases = list(_QUICK_CASES) if quick else _known_cases()
     known = _known_cases()
@@ -296,7 +391,9 @@ def run_suite(quick: bool = False, cases: list[str] | None = None) -> dict:
     doc: dict = {
         "schema": BENCH_SCHEMA,
         "date": datetime.date.today().isoformat(),
-        "quick": bool(quick),
+        # "quick" marks any subset run (--quick or --case): against a
+        # full baseline only the cases present are gated
+        "quick": bool(subset),
         "calibration_s": calibration_s,
         "cases": {},
     }
@@ -446,6 +543,17 @@ def run_cli(args: argparse.Namespace) -> int:
             print("PERF REGRESSION: process-parallel MPS sweep speedup "
                   "below target")
             return 2
+    ratio = adjoint_eval_ratio(doc)
+    if ratio is not None:
+        met = ratio >= ADJOINT_EVAL_RATIO_TARGET
+        print(f"  adjoint vs parameter-shift eval-equivalents: "
+              f"{ratio:.1f}x fewer per step "
+              f"(target {ADJOINT_EVAL_RATIO_TARGET:.1f}x, "
+              f"{'ok' if met else 'below target'})")
+        if not met:
+            print("PERF REGRESSION: adjoint gradient eval-equivalents "
+                  "advantage below target")
+            return 2
     if args.write_baseline:
         base_path = Path.cwd() / BASELINE_NAME
         write_ledger(doc, base_path)
@@ -484,11 +592,14 @@ def cli(argv: list[str] | None = None) -> int:
 
 
 __all__ = [
+    "ADJOINT_EVAL_RATIO_TARGET",
+    "ADJOINT_RATIO_CASE",
     "BENCH_SCHEMA",
     "BASELINE_NAME",
     "MPS_SPEEDUP_CASES",
     "MPS_SPEEDUP_TARGET",
     "add_arguments",
+    "adjoint_eval_ratio",
     "available_cores",
     "calibration_probe",
     "cli",

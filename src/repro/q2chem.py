@@ -97,15 +97,18 @@ class Q2Chemistry:
                    max_bond_dimension: int | None = None,
                    measurement: str | None = None,
                    optimizer: str = "cobyla", tolerance: float = 1e-8,
-                   max_iterations: int = 4000,
+                   max_iterations: int = 4000, grad: str | None = None,
                    initial_parameters: np.ndarray | None = None,
                    parallel: str | None = None,
                    n_workers: int | None = None,
                    observe: bool = False) -> VQEResult:
         """MPS-VQE (or SV-VQE) on the full active space.
 
-        ``measurement`` picks the MPS observable-evaluation path ("auto" |
-        "sweep" | "mpo" | "per_term"); ``parallel``/``n_workers`` route
+        ``grad`` selects the gradient source for gradient-based
+        optimizers ("adjoint" | "param_shift" | "finite_diff", see
+        :mod:`repro.vqe.gradients`); ``measurement`` picks the MPS
+        observable-evaluation path ("auto" | "sweep" | "mpo" |
+        "per_term"); ``parallel``/``n_workers`` route
         energy evaluations through the level-2 parallel measurement engine
         (executor name + pool width); results are bitwise identical across
         executors and worker counts.  ``observe=True`` collects the
@@ -119,7 +122,7 @@ class Q2Chemistry:
                  max_bond_dimension=max_bond_dimension,
                  measurement=measurement, optimizer=optimizer,
                  tolerance=tolerance, max_iterations=max_iterations,
-                 parallel=parallel, n_workers=n_workers) as vqe:
+                 grad=grad, parallel=parallel, n_workers=n_workers) as vqe:
             if observe:
                 from repro import obs
 

@@ -133,6 +133,53 @@ class MPO:
             self.tensors[k - 1] = tensordot_fused(
                 self.tensors[k - 1], carry, axes=((3,), (0,)))
 
+    def apply(self, mps, *, cutoff: float = 1e-13,
+              max_bond_dimension: int | None = None):
+        """``O|psi>`` as a normalized right-canonical MPS plus its norm.
+
+        A left-to-right *zip-up* sweep contracts one MPO tensor into one
+        site tensor at a time and immediately SVD-splits the result, so the
+        working bond never exceeds ``(previous rank) * 2`` instead of the
+        naive ``D_psi * D_mpo`` product; with ``cutoff`` at numerical noise
+        the kept rank is the exact Schmidt rank of ``O|psi>`` (capped at
+        ``min(2^b, 2^(n-b))``).  The sweep leaves left-canonical tensors
+        whose norm sits entirely in the last site, so ``||O|psi>||`` is
+        read off before the standard canonicalization sweeps restore the
+        right-canonical form + Schmidt values the gate/measurement kernels
+        require.  Returns ``(mps_out, norm)`` with ``mps_out`` normalized;
+        the caller carries the scalar.
+        """
+        from repro.simulators.mps import MPS, TruncationStats
+
+        n = self.n_qubits
+        if mps.n_qubits != n:
+            raise ValidationError(
+                f"MPO register {n} != state register {mps.n_qubits}"
+            )
+        carry = np.ones((1, 1, 1), dtype=complex)  # (new bond, ket, mpo)
+        tensors: list[np.ndarray] = []
+        for k in range(n):
+            b = mps.tensors[k]
+            w = self.tensors[k]
+            # t[x, j, c, d] = carry[x, a, m] B[a, i, c] W[m, j, i, d]
+            t = np.einsum("xam,aic,mjid->xjcd", carry, b, w, optimize=True)
+            x, _, ac, mc = t.shape
+            if k == n - 1:
+                tensors.append(t.reshape(x, 2, ac * mc))
+                break
+            u, s, vh, _ = svd_truncated(t.reshape(x * 2, ac * mc),
+                                        max_bond_dimension, cutoff)
+            tensors.append(u.reshape(x, 2, s.size))
+            carry = (s[:, None] * vh).reshape(s.size, ac, mc)
+        norm = float(np.linalg.norm(tensors[-1]))
+        if norm == 0.0:
+            raise ValidationError("operator annihilates the state")
+        out = MPS(n, max_bond_dimension=max_bond_dimension, cutoff=cutoff)
+        out.tensors = tensors
+        out._canonicalize()
+        out.stats = TruncationStats()  # construction is not evolution
+        return out, norm
+
     def matrix(self) -> np.ndarray:
         """Dense matrix (tests only)."""
         if self.n_qubits > 12:

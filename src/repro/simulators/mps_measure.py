@@ -423,24 +423,38 @@ def _level3_pool() -> ThreadPoolExecutor:
 
 def _advance_left(env: np.ndarray, bk: np.ndarray,
                   bc: np.ndarray) -> np.ndarray:
-    """Advance left environments through one site: two batched GEMMs."""
-    dl, _, dr = bk.shape
+    """Advance left environments through one site: two batched GEMMs.
+
+    ``env`` is ``(rows, ket_bond, bra_bond)``; the bra-side dimensions are
+    read from ``bc`` so the same kernel serves the square same-state case
+    (``<psi|O|psi>`` sweeps, where it is bitwise identical to the historic
+    form) and the rectangular two-state overlaps of the adjoint gradient
+    engine (``<phi|O|psi>`` with independently truncated bra and ket).
+    """
+    kl, _, kr = bk.shape
+    bl, _, br = bc.shape
     # a[k, m, (i, r)] = sum_l env_k[l, m] bk[l, i, r]
-    a = np.matmul(env.transpose(0, 2, 1), bk.reshape(dl, 2 * dr))
+    a = np.matmul(env.transpose(0, 2, 1), bk.reshape(kl, 2 * kr))
     # env'_k[r, s] = sum_{m,i} a[k, (m,i), r] conj(b)[(m,i), s]
-    return np.matmul(a.reshape(env.shape[0], dl * 2, dr).transpose(0, 2, 1),
-                     bc.reshape(dl * 2, dr))
+    return np.matmul(a.reshape(env.shape[0], bl * 2, kr).transpose(0, 2, 1),
+                     bc.reshape(bl * 2, br))
 
 
 def _advance_right(env: np.ndarray, bk: np.ndarray,
                    bc: np.ndarray) -> np.ndarray:
-    """Advance right environments through one site: two batched GEMMs."""
-    dl, _, dr = bk.shape
+    """Advance right environments through one site: two batched GEMMs.
+
+    Same rectangular-bra generalization as :func:`_advance_left`:
+    ``env`` is ``(rows, ket_bond, bra_bond)`` with the bra dimensions
+    taken from ``bc``.
+    """
+    kl, _, kr = bk.shape
+    bl, _, br = bc.shape
     # t[k, (l, i), s] = sum_r bk[(l, i), r] env_k[r, s]
-    t = np.matmul(bk.reshape(dl * 2, dr), env)
+    t = np.matmul(bk.reshape(kl * 2, kr), env)
     # env'_k[l, m] = sum_{i,s} t[k, l, (i,s)] conj(b)[m, (i,s)]
-    return np.matmul(t.reshape(env.shape[0], dl, 2 * dr),
-                     bc.reshape(dl, 2 * dr).T)
+    return np.matmul(t.reshape(env.shape[0], kl, 2 * br),
+                     bc.reshape(bl, 2 * br).T)
 
 
 def _dispatch_advance(advance, env: np.ndarray, bk: np.ndarray,

@@ -18,6 +18,14 @@ from repro.vqe.optimizers import (
     minimize_adam,
     minimize_scipy,
 )
+from repro.vqe.gradients import (
+    GRADIENT_SOURCES,
+    GradientSource,
+    adjoint_gradient,
+    finite_diff_gradient,
+    make_gradient,
+    param_shift_gradient,
+)
 from repro.vqe.vqe import VQE, VQEResult
 from repro.vqe.rdm import measure_rdms
 
@@ -32,6 +40,12 @@ __all__ = [
     "minimize_spsa",
     "minimize_adam",
     "minimize_scipy",
+    "GRADIENT_SOURCES",
+    "GradientSource",
+    "adjoint_gradient",
+    "finite_diff_gradient",
+    "make_gradient",
+    "param_shift_gradient",
     "VQE",
     "VQEResult",
     "measure_rdms",

@@ -260,8 +260,42 @@ class EnergyEvaluator:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def energy_of_circuit(self, circuit: Circuit) -> float:
+        """<H> after running an arbitrary *bound* circuit on a fresh backend.
+
+        Routes through exactly the same measurement machinery as
+        :meth:`energy` (parallel grouped observables, compiled dense
+        kernels, the MPS measurement engine), so shifted-gate evaluations
+        of the parameter-shift gradient source are numerically identical
+        to ordinary energy evaluations of the same state.
+        """
+        if circuit.n_qubits != self.n_qubits:
+            raise ValidationError(
+                f"circuit width {circuit.n_qubits} != register "
+                f"{self.n_qubits}"
+            )
+        sim = self._fresh_sim(self.n_qubits)
+        sim.run(circuit)
+        return self._measure_state(sim)
+
+    def gradient_source(self, source: str = "adjoint", *,
+                        fd_step: float = 1e-6):
+        """A configured ``gradient(theta) -> dE/dtheta`` callable.
+
+        Thin forwarding to :func:`repro.vqe.gradients.make_gradient`
+        (imported lazily: the gradients module pulls in the simulator
+        stack).
+        """
+        from repro.vqe.gradients import make_gradient
+
+        return make_gradient(self, source, fd_step=fd_step)
+
     def _energy_direct(self, theta: np.ndarray) -> float:
         sim = self._run_ansatz(theta, self.n_qubits)
+        return self._measure_state(sim)
+
+    def _measure_state(self, sim) -> float:
+        """Measure <H> on a prepared backend (the direct-path dispatch)."""
         if (self.parallel is not None
                 and getattr(sim, "natively_dense", False)):
             grouped, executor, counters = self._parallel_engine()

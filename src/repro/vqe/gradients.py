@@ -1,0 +1,511 @@
+"""Gradient sources for VQE: adjoint reverse-mode, parameter-shift, FD.
+
+Every optimizer step needs dE/dtheta for E(theta) = <0|U(theta)' H U(theta)|0>.
+Three sources compute it, forming an oracle hierarchy (each validates the
+one above it, and the property suite pins their pairwise agreement):
+
+* ``adjoint`` - reverse-mode analytic gradients from **one forward + one
+  backward pass** (the differentiable-MPS strategy of arXiv:2211.07983).
+  For a parametric gate ``U_k = exp(-i a/2 G_k)`` with bound angle
+  ``a = mult * theta[idx]``,
+
+      dE/da = Im <phi_k | G_k | ket_k>,
+
+  where ``ket_k = U_k ... U_1 |0>`` and ``phi_k = U_{k+1}' ... U_N' H U|0>``.
+  The forward pass prepares ``|psi> = U|0>`` once; ``H|psi>`` is built once
+  (densely on statevector, as a zip-up MPO application on MPS); the backward
+  sweep then *undoes* each gate on both states and accumulates one overlap
+  per parametric gate - O(1) state memory, all P partials from a single
+  backward sweep instead of 2P (finite differences) or 2G (parameter shift,
+  G = parametric gate count) energy evaluations.  On MPS the overlaps reuse
+  the measurement engine's environment-advance kernels
+  (:func:`repro.simulators.mps_measure._advance_left` /
+  ``_advance_right``) with prefix/suffix environment caches that are
+  invalidated only over the support of each undone gate.  Exact at
+  unbounded bond dimension; at truncated D the error is bounded by the
+  discarded Schmidt weight (the same budget the energy obeys).
+* ``param_shift`` - the gate-wise analytic oracle: every parametric gate's
+  *bound angle* is shifted by +-pi/2 (``dE/da = (E(a+pi/2) - E(a-pi/2))/2``,
+  exact for involutory generators) and chain-ruled through the multiplier.
+  Gate-wise shifting matters because UCCSD shares one theta across many
+  rotations with different multipliers - the naive per-parameter 2-point
+  shift is *not* exact there.  Costs 2G energy evaluations.
+* ``finite_diff`` - central differences per parameter (2P evaluations);
+  works with any energy callable, including the circuit-free "fast"
+  ansatz backend.
+
+All three are deterministic functions of (hamiltonian, circuit, theta):
+the adjoint path never touches the executor layer, so gradients are
+bitwise identical across serial/thread/process executors and any worker
+count - the invariant the regression suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.backends import backend_spec
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import GATE_MATRICES, Gate
+from repro.common.errors import ValidationError
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
+from repro.operators.pauli import QubitOperator
+
+#: valid values for the ``grad`` knob exposed by the VQE layer / CLI
+GRADIENT_SOURCES = ("adjoint", "param_shift", "finite_diff")
+
+# observability instruments (no-ops unless `repro.obs` is enabled); every
+# counter is a deterministic function of (hamiltonian, circuit, theta), so
+# the regression suite pins exact values across worker counts
+_G_EVALS = _obs.counter(
+    "grad.evaluations", "full gradient evaluations, labelled by source")
+_G_FWD = _obs.counter(
+    "grad.forward_sweeps",
+    "adjoint forward passes (one ansatz state preparation per gradient)")
+_G_BWD = _obs.counter(
+    "grad.backward_sweeps",
+    "adjoint backward passes (one per gradient, all P partials)")
+_G_UNDO = _obs.counter(
+    "grad.gate_undos",
+    "inverse gate applications during backward sweeps (ket + bra)")
+_G_CACHED = _obs.counter(
+    "grad.cached_tensors",
+    "overlap environments in the backward-pass cache, labelled "
+    "built (advanced and stored) / reused (served without any advance)")
+_G_GEMM = _obs.counter(
+    "grad.gemm_calls",
+    "GEMM invocations issued by overlap-environment advances")
+_G_FLOPS = _obs.counter(
+    "grad.modeled_flops",
+    "cost-model flops of the adjoint overlap contractions", unit="flop")
+_G_EQUIV = _obs.counter(
+    "grad.eval_equivalents",
+    "energy-evaluation equivalents consumed per gradient, labelled by "
+    "source (adjoint: forward + bra build + two backward evolutions)")
+
+#: energy-evaluation equivalents one adjoint gradient costs: the forward
+#: ansatz run, the H|psi> bra construction, and the backward undo sweep on
+#: the two states - independent of the parameter count
+ADJOINT_EVAL_EQUIVALENTS = 4
+
+_GENERATOR = {"RX": "X", "RY": "Y", "RZ": "Z"}
+
+
+def _generator_ops(gate: Gate) -> dict[int, np.ndarray]:
+    """Single-site factors of the gate generator G (RZZ: Z on each site)."""
+    if gate.name == "RZZ":
+        z = GATE_MATRICES["Z"]
+        return {gate.qubits[0]: z, gate.qubits[1]: z}
+    ch = _GENERATOR.get(gate.name)
+    if ch is None:
+        raise ValidationError(
+            f"gate {gate.name!r} has no known generator; cannot "
+            f"differentiate it analytically"
+        )
+    return {gate.qubits[0]: GATE_MATRICES[ch]}
+
+
+def _strip_identity(op: QubitOperator) -> QubitOperator:
+    """Drop identity terms: constants never contribute to the gradient."""
+    return QubitOperator({t: c for t, c in op.terms.items()
+                          if not t.is_identity()})
+
+
+def n_parametric_gates(circuit: Circuit) -> int:
+    """Parametric gate count G (parameter-shift costs 2G evaluations)."""
+    return sum(1 for g in circuit.gates if g.param is not None)
+
+
+# -- dense adjoint (the exact oracle) -----------------------------------------
+
+
+def _apply_dense(psi: np.ndarray, mat: np.ndarray,
+                 qubits: tuple[int, ...]) -> np.ndarray:
+    """Contract a 1- or 2-qubit matrix onto a rank-n amplitude tensor."""
+    k = len(qubits)
+    mat = np.asarray(mat, dtype=complex).reshape((2,) * (2 * k))
+    moved = np.tensordot(mat, psi, axes=(tuple(range(k, 2 * k)), qubits))
+    return np.moveaxis(moved, tuple(range(k)), qubits)
+
+
+def _apply_operator_dense(op: QubitOperator, psi: np.ndarray) -> np.ndarray:
+    """H|psi> on the dense tensor, term by term."""
+    out = np.zeros_like(psi)
+    for term, coeff in op.terms.items():
+        cur = psi
+        for q, ch in term.ops():
+            cur = _apply_dense(cur, GATE_MATRICES[ch], (q,))
+        out = out + coeff * cur
+    return out
+
+
+def _adjoint_dense(hamiltonian: QubitOperator, circuit: Circuit,
+                   theta: np.ndarray) -> np.ndarray:
+    """Exact adjoint gradient on the dense statevector (the oracle)."""
+    n = circuit.n_qubits
+    gates = list(circuit.gates)
+    bound = [g.bound(theta) for g in gates]
+    psi = np.zeros((2,) * n, dtype=complex)
+    psi[(0,) * n] = 1.0
+    for g in bound:
+        psi = _apply_dense(psi, g.matrix(), g.qubits)
+    _G_FWD.inc()
+    grad = np.zeros(circuit.n_parameters)
+    op = _strip_identity(hamiltonian)
+    if not op.terms:
+        _G_BWD.inc()
+        return grad
+    phi = _apply_operator_dense(op, psi)
+    for g, raw in zip(reversed(bound), reversed(gates)):
+        if raw.param is not None:
+            idx, mult = raw.param
+            gp = psi
+            for q, p in _generator_ops(raw).items():
+                gp = _apply_dense(gp, p, (q,))
+            grad[idx] += mult * float(np.imag(np.vdot(phi, gp)))
+        inv = g.matrix().conj().T
+        psi = _apply_dense(psi, inv, g.qubits)
+        phi = _apply_dense(phi, inv, g.qubits)
+        if _obs.REGISTRY.enabled:
+            _G_UNDO.inc(2)
+    _G_BWD.inc()
+    return grad
+
+
+# -- MPS adjoint --------------------------------------------------------------
+
+
+class _OverlapEnvironments:
+    """Prefix/suffix <bra|ket> environment caches for the backward sweep.
+
+    ``left(b)`` / ``right(b)`` return the contraction of sites ``0..b-1`` /
+    ``b..n-1`` of the (ket, bra) pair with open bonds at ``b``, advanced
+    lazily through the measurement engine's rectangular GEMM kernels and
+    cached per bond.  Undoing a gate over sites ``[lo, hi]`` invalidates
+    only the environments whose span crosses those sites, so consecutive
+    backward-sweep overlaps (which move locally along the chain) are served
+    mostly from cache - the same prefix/suffix reuse the sweep-plan
+    measurement path exploits, applied across two evolving states.
+    """
+
+    def __init__(self, ket, bra):
+        from repro.simulators.mps_measure import (
+            _advance_left,
+            _advance_right,
+        )
+
+        self._adv_l = _advance_left
+        self._adv_r = _advance_right
+        self.ket = ket
+        self.bra = bra
+        n = ket.n_qubits
+        self.n = n
+        one = np.ones((1, 1, 1), dtype=complex)
+        self._L: list[np.ndarray | None] = [one] + [None] * n
+        self._R: list[np.ndarray | None] = [None] * n + [one]
+        self._lvalid = 0   # L[0..lvalid] are valid
+        self._rvalid = n   # R[rvalid..n] are valid
+
+    def invalidate(self, lo: int, hi: int) -> None:
+        """Drop environments whose span covers any site in ``[lo, hi]``."""
+        self._lvalid = min(self._lvalid, lo)
+        self._rvalid = max(self._rvalid, hi + 1)
+
+    def _advance(self, kernel, env, q):
+        bk = self.ket.tensors[q]
+        bc = np.conj(self.bra.tensors[q])
+        if _obs.REGISTRY.enabled:
+            _G_GEMM.inc(2)
+            kl, _, kr = bk.shape
+            bl, _, br = bc.shape
+            _G_FLOPS.inc(16.0 * (kl * kr * bl + kr * bl * br))
+        return kernel(env, bk, bc)
+
+    def left(self, b: int) -> np.ndarray:
+        """Environment of sites ``0..b-1`` as a (1, ket_b, bra_b) array."""
+        if self._lvalid >= b:
+            _G_CACHED.inc(outcome="reused")
+            return self._L[b]
+        while self._lvalid < b:
+            q = self._lvalid
+            self._L[q + 1] = self._advance(self._adv_l, self._L[q], q)
+            self._lvalid = q + 1
+            _G_CACHED.inc(outcome="built")
+        return self._L[b]
+
+    def right(self, b: int) -> np.ndarray:
+        """Environment of sites ``b..n-1`` as a (1, ket_b, bra_b) array."""
+        if self._rvalid <= b:
+            _G_CACHED.inc(outcome="reused")
+            return self._R[b]
+        while self._rvalid > b:
+            q = self._rvalid - 1
+            self._R[q] = self._advance(self._adv_r, self._R[q + 1], q)
+            self._rvalid = q
+            _G_CACHED.inc(outcome="built")
+        return self._R[b]
+
+    def overlap(self, ops: dict[int, np.ndarray]) -> complex:
+        """<bra| prod_q O_q |ket> via cached environments + local advances."""
+        sites = sorted(ops)
+        s, e = sites[0], sites[-1]
+        env = self.left(s)
+        for q in range(s, e + 1):
+            bk = self.ket.tensors[q]
+            p = ops.get(q)
+            if p is not None:
+                bk = np.tensordot(p, bk, axes=((1,), (1,))).transpose(1, 0, 2)
+            bc = np.conj(self.bra.tensors[q])
+            if _obs.REGISTRY.enabled:
+                _G_GEMM.inc(2)
+                kl, _, kr = bk.shape
+                bl, _, br = bc.shape
+                _G_FLOPS.inc(16.0 * (kl * kr * bl + kr * bl * br))
+            env = self._adv_l(env, bk, bc)
+        r = self.right(e + 1)
+        return complex(np.einsum("ij,ij->", env[0], r[0]))
+
+
+def _undo_gate_mps(state, gate: Gate) -> tuple[int, int]:
+    """Apply the inverse gate; returns the touched site span [lo, hi]."""
+    inv = gate.matrix().conj().T
+    if gate.n_qubits == 1:
+        q = gate.qubits[0]
+        state.apply_one_qubit(inv, q)
+        return q, q
+    q1, q2 = gate.qubits
+    state.apply_two_qubit(inv, q1, q2)
+    return min(q1, q2), max(q1, q2)
+
+
+def _adjoint_mps(hamiltonian: QubitOperator, circuit: Circuit,
+                 theta: np.ndarray, *, max_bond_dimension: int | None,
+                 cutoff: float) -> np.ndarray:
+    """Two-state adjoint gradient on matrix product states.
+
+    Forward: run the *unfused* bound gate stream on a fresh MPS (fusion
+    would absorb parametric rotations into opaque U2 blocks).  The bra
+    ``H|psi>`` is materialized once as an MPS through the compiled-MPO
+    zip-up (:meth:`repro.simulators.mpo.MPO.apply`) - its exact Schmidt
+    rank is capped at ``min(2^b, 2^(n-b))``, so it stays small - and
+    normalized, carrying ``||H|psi>||`` as a scalar.  Backward: undo each
+    gate on both states, accumulating ``mult * scale * Im <phi|G|ket>``
+    per parametric gate through the cached overlap environments.
+    """
+    from repro.simulators.mps import MPS
+    from repro.simulators.mps_measure import compiled_mpo
+
+    n = circuit.n_qubits
+    gates = list(circuit.gates)
+    bound = [g.bound(theta) for g in gates]
+    ket = MPS(n, max_bond_dimension=max_bond_dimension, cutoff=cutoff)
+    for g in bound:
+        if g.n_qubits == 1:
+            ket.apply_one_qubit(g.matrix(), g.qubits[0])
+        else:
+            ket.apply_two_qubit(g.matrix(), *g.qubits)
+    _G_FWD.inc()
+    grad = np.zeros(circuit.n_parameters)
+    op = _strip_identity(hamiltonian)
+    if not op.terms:
+        _G_BWD.inc()
+        return grad
+    # bra cutoff: tight enough that the zip-up keeps the exact rank; the
+    # bra is never bond-capped (its rank is bounded by the register anyway)
+    bra, scale = compiled_mpo(op, n).apply(ket, cutoff=min(cutoff, 1e-13))
+    envs = _OverlapEnvironments(ket, bra)
+    for g, raw in zip(reversed(bound), reversed(gates)):
+        if raw.param is not None:
+            idx, mult = raw.param
+            ov = envs.overlap(_generator_ops(raw))
+            grad[idx] += mult * scale * ov.imag
+        lo, hi = _undo_gate_mps(ket, g)
+        _undo_gate_mps(bra, g)
+        if _obs.REGISTRY.enabled:
+            _G_UNDO.inc(2)
+        envs.invalidate(lo, hi)
+    _G_BWD.inc()
+    return grad
+
+
+# -- the shift / finite-difference oracles ------------------------------------
+
+
+def param_shift_gradient(evaluator, theta: np.ndarray, *,
+                         parameters=None) -> np.ndarray:
+    """Gate-wise +-pi/2 parameter-shift gradient (2G energy evaluations).
+
+    ``parameters`` optionally restricts the shift to gates bound to the
+    given parameter indices (entries outside the subset stay zero) - the
+    parity suite uses this to spot-check single components on circuits
+    where the full 2G sweep would be wasteful.
+    """
+    circuit = evaluator.ansatz
+    theta = np.asarray(theta, dtype=float)
+    gates = list(circuit.gates)
+    bound = [g.bound(theta) for g in gates]
+    sel = None if parameters is None else {int(p) for p in parameters}
+    grad = np.zeros(circuit.n_parameters)
+    n_evals = 0
+    for j, raw in enumerate(gates):
+        if raw.param is None:
+            continue
+        idx, mult = raw.param
+        if sel is not None and idx not in sel:
+            continue
+        a = bound[j].angle
+        shifted_vals = []
+        for shift in (0.5 * np.pi, -0.5 * np.pi):
+            g = replace(bound[j], angle=a + shift)
+            c = Circuit(n_qubits=circuit.n_qubits,
+                        gates=bound[:j] + [g] + bound[j + 1:],
+                        n_parameters=0, name=circuit.name)
+            shifted_vals.append(evaluator.energy_of_circuit(c))
+            n_evals += 1
+        grad[idx] += mult * (shifted_vals[0] - shifted_vals[1]) / 2.0
+    _G_EQUIV.inc(n_evals, source="param_shift")
+    _G_EVALS.inc(source="param_shift")
+    return grad
+
+
+def finite_diff_gradient(f, theta: np.ndarray, *, step: float = 1e-6,
+                         n_parameters: int | None = None,
+                         parameters=None) -> np.ndarray:
+    """Central finite differences of any energy callable (2P evaluations)."""
+    theta = np.asarray(theta, dtype=float)
+    p = theta.size if n_parameters is None else int(n_parameters)
+    sel = range(p) if parameters is None else [int(i) for i in parameters]
+    grad = np.zeros(p)
+    n_evals = 0
+    for i in sel:
+        e = np.zeros(p)
+        e[i] = step
+        grad[i] = (f(theta + e) - f(theta - e)) / (2.0 * step)
+        n_evals += 2
+    _G_EQUIV.inc(n_evals, source="finite_diff")
+    _G_EVALS.inc(source="finite_diff")
+    return grad
+
+
+# -- the gradient-source abstraction ------------------------------------------
+
+
+class GradientSource:
+    """A configured ``gradient(theta) -> dE/dtheta`` callable.
+
+    Built by :func:`make_gradient`; optimizers consume it as an opaque
+    callable, so swapping sources never changes the optimizer trajectory
+    beyond the gradient values themselves (the regression suite pins
+    bitwise-identical trajectories for value-identical sources).
+    """
+
+    def __init__(self, source: str, evaluator, *, fd_step: float = 1e-6,
+                 n_parameters: int | None = None):
+        self.source = source
+        self.evaluator = evaluator
+        self.fd_step = fd_step
+        if n_parameters is None:
+            circuit = getattr(evaluator, "ansatz", None)
+            n_parameters = getattr(circuit, "n_parameters", None)
+        self.n_parameters = n_parameters
+        self.n_evaluations = 0
+
+    def __call__(self, theta: np.ndarray, *, parameters=None) -> np.ndarray:
+        self.n_evaluations += 1
+        with _trace.span("grad.evaluate", source=self.source):
+            if self.source == "adjoint":
+                return adjoint_gradient(self.evaluator, theta)
+            if self.source == "param_shift":
+                return param_shift_gradient(self.evaluator, theta,
+                                            parameters=parameters)
+            return finite_diff_gradient(self.evaluator, theta,
+                                        step=self.fd_step,
+                                        n_parameters=self.n_parameters,
+                                        parameters=parameters)
+
+
+def adjoint_gradient(evaluator, theta: np.ndarray) -> np.ndarray:
+    """All P partials from one forward + one backward pass.
+
+    Dispatches on the evaluator's backend: the MPS backend runs the
+    two-state tensor-network sweep at the evaluator's truncation settings;
+    dense backends run the exact statevector oracle.
+    """
+    circuit = evaluator.ansatz
+    theta = np.asarray(theta, dtype=float)
+    spec = backend_spec(evaluator.simulator)
+    if "adjoint" not in spec.gradients:
+        raise ValidationError(
+            f"backend {evaluator.simulator!r} declares no adjoint gradient "
+            f"support (BackendSpec.gradients={spec.gradients}); use "
+            f"grad='param_shift' or 'finite_diff'"
+        )
+    with _trace.span("grad.adjoint", simulator=evaluator.simulator,
+                     n_parameters=int(circuit.n_parameters)):
+        if spec.name == "mps":
+            grad = _adjoint_mps(
+                evaluator.hamiltonian, circuit, theta,
+                max_bond_dimension=evaluator.max_bond_dimension,
+                cutoff=evaluator.cutoff)
+        else:
+            grad = _adjoint_dense(evaluator.hamiltonian, circuit, theta)
+    _G_EQUIV.inc(ADJOINT_EVAL_EQUIVALENTS, source="adjoint")
+    _G_EVALS.inc(source="adjoint")
+    return grad
+
+
+def make_gradient(evaluator, source: str = "adjoint", *,
+                  fd_step: float = 1e-6,
+                  n_parameters: int | None = None) -> GradientSource:
+    """Build a :class:`GradientSource` for an evaluator.
+
+    ``finite_diff`` works with any energy callable (including the
+    circuit-free "fast" backend); ``param_shift`` needs a circuit
+    evaluator exposing ``energy_of_circuit``; ``adjoint`` additionally
+    needs a backend declaring the capability on its
+    :class:`repro.backends.BackendSpec`.
+    """
+    key = str(source).lower().replace("-", "_")
+    if key not in GRADIENT_SOURCES:
+        raise ValidationError(
+            f"unknown gradient source {source!r}; "
+            f"expected one of {GRADIENT_SOURCES}"
+        )
+    if key != "finite_diff":
+        circuit = getattr(evaluator, "ansatz", None)
+        if not isinstance(circuit, Circuit):
+            raise ValidationError(
+                f"gradient source {key!r} needs a circuit evaluator; "
+                f"the closed-form ansatz backends support only "
+                f"'finite_diff'"
+            )
+        if key == "adjoint":
+            spec = backend_spec(evaluator.simulator)
+            if "adjoint" not in spec.gradients:
+                raise ValidationError(
+                    f"backend {evaluator.simulator!r} declares no adjoint "
+                    f"gradient support; registered analytic sources: "
+                    f"{spec.gradients or '()'}"
+                )
+    if key == "finite_diff" and n_parameters is None:
+        circuit = getattr(evaluator, "ansatz", None)
+        n_parameters = getattr(circuit, "n_parameters", None)
+        if n_parameters is None:
+            n_parameters = getattr(evaluator, "n_parameters", None)
+    return GradientSource(key, evaluator, fd_step=fd_step,
+                          n_parameters=n_parameters)
+
+
+__all__ = [
+    "ADJOINT_EVAL_EQUIVALENTS",
+    "GRADIENT_SOURCES",
+    "GradientSource",
+    "adjoint_gradient",
+    "finite_diff_gradient",
+    "make_gradient",
+    "n_parametric_gates",
+    "param_shift_gradient",
+]

@@ -7,7 +7,16 @@ Three families, all consuming a plain ``f(theta) -> float`` callable:
 * :func:`minimize_spsa` - simultaneous perturbation stochastic approximation,
   the measurement-frugal optimizer relevant on hardware (2 evaluations per
   step regardless of parameter count);
-* :func:`minimize_adam` - Adam on central finite-difference gradients.
+* :func:`minimize_adam` - Adam on an injected gradient callable (any
+  source from :mod:`repro.vqe.gradients`: adjoint, parameter-shift,
+  finite differences), falling back to its historic built-in central
+  finite differences when none is given.
+
+Gradient-capable entry points (:func:`minimize_adam` and the scipy
+gradient methods through ``gradient=``) treat the callable as an opaque
+``g(theta) -> ndarray``: the optimizer trajectory depends only on the
+gradient *values*, never on how they were produced - the property the
+source-parity regression test pins.
 """
 
 from __future__ import annotations
@@ -35,10 +44,22 @@ class OptimizationResult:
     message: str = ""
 
 
+#: scipy methods that consume an analytic jacobian when one is supplied
+SCIPY_GRADIENT_METHODS = ("L-BFGS-B", "BFGS", "SLSQP", "CG")
+
+
 def minimize_scipy(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
                    method: str = "COBYLA", tolerance: float = 1e-8,
-                   max_iterations: int = 2000) -> OptimizationResult:
-    """Minimize with scipy; records an energy history via a wrapper."""
+                   max_iterations: int = 2000,
+                   gradient: Callable[[np.ndarray], np.ndarray] | None = None
+                   ) -> OptimizationResult:
+    """Minimize with scipy; records an energy history via a wrapper.
+
+    ``gradient`` (any :mod:`repro.vqe.gradients` source) is passed as the
+    analytic jacobian to the gradient-based methods
+    (:data:`SCIPY_GRADIENT_METHODS`); gradient-free methods reject it
+    rather than silently ignoring an expensive callable.
+    """
     history: list[float] = []
     calls = [0]
 
@@ -48,8 +69,20 @@ def minimize_scipy(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
         history.append(val)
         return val
 
+    jac = None
+    if gradient is not None:
+        if method.upper() not in SCIPY_GRADIENT_METHODS:
+            raise ValidationError(
+                f"scipy method {method!r} is gradient-free; gradient "
+                f"sources apply to {SCIPY_GRADIENT_METHODS}"
+            )
+
+        def jac(x: np.ndarray) -> np.ndarray:
+            return np.asarray(gradient(np.asarray(x, dtype=float)),
+                              dtype=float)
+
     res = sopt.minimize(wrapped, np.asarray(x0, dtype=float), method=method,
-                        tol=tolerance,
+                        tol=tolerance, jac=jac,
                         options={"maxiter": max_iterations})
     return OptimizationResult(
         x=np.asarray(res.x, dtype=float),
@@ -105,21 +138,38 @@ def minimize_adam(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
                   max_iterations: int = 200, learning_rate: float = 0.05,
                   beta1: float = 0.9, beta2: float = 0.999,
                   eps: float = 1e-8, fd_step: float = 1e-4,
-                  tolerance: float = 1e-8) -> OptimizationResult:
-    """Adam on central finite-difference gradients (2p evals per step)."""
+                  tolerance: float = 1e-8,
+                  gradient: Callable[[np.ndarray], np.ndarray] | None = None
+                  ) -> OptimizationResult:
+    """Adam on an injected gradient callable.
+
+    ``gradient(theta) -> ndarray`` may come from any source
+    (:mod:`repro.vqe.gradients`); when omitted the historic built-in
+    central finite differences are used (2p energy evaluations per step,
+    counted in ``n_evaluations``).  The update sequence is a pure function
+    of the gradient values, so value-identical sources yield bitwise
+    identical trajectories.
+    """
     x = np.asarray(x0, dtype=float).copy()
     m = np.zeros_like(x)
     v = np.zeros_like(x)
     history: list[float] = []
     evals = 0
+    counted = [0]
+    if gradient is None:
+        def gradient(xc: np.ndarray) -> np.ndarray:
+            g = np.zeros_like(xc)
+            for i in range(xc.size):
+                e = np.zeros_like(xc)
+                e[i] = fd_step
+                g[i] = (f(xc + e) - f(xc - e)) / (2.0 * fd_step)
+                counted[0] += 2
+            return g
     prev = np.inf
     for k in range(1, max_iterations + 1):
-        g = np.zeros_like(x)
-        for i in range(x.size):
-            e = np.zeros_like(x)
-            e[i] = fd_step
-            g[i] = (f(x + e) - f(x - e)) / (2.0 * fd_step)
-            evals += 2
+        g = np.asarray(gradient(x), dtype=float)
+        evals += counted[0]
+        counted[0] = 0
         m = beta1 * m + (1 - beta1) * g
         v = beta2 * v + (1 - beta2) * g * g
         mhat = m / (1 - beta1 ** k)

@@ -71,11 +71,24 @@ class VQE:
         "mpo" | "per_term") are forwarded to :class:`EnergyEvaluator`.
     optimizer:
         "cobyla" | "l-bfgs-b" | "nelder-mead" | "spsa" | "adam".
+    grad:
+        Gradient source for gradient-based optimizers ("adjoint" |
+        "param_shift" | "finite_diff", see :mod:`repro.vqe.gradients`);
+        ``None`` keeps each optimizer's built-in behaviour (adam:
+        internal central finite differences; scipy methods: their own
+        numerical jacobians).  "adjoint" requires a backend declaring the
+        capability on its :class:`repro.backends.BackendSpec`
+        ("statevector", "mps"); naming a source with a gradient-free
+        optimizer (cobyla, nelder-mead, powell, spsa) is a validation
+        error.
     parallel / n_workers:
         Forwarded to :class:`EnergyEvaluator`: executor name for the
         level-2 parallel measurement path and its worker count.  Call
         :meth:`close` after the run to release the worker pool.
     """
+
+    #: optimizers able to consume an injected gradient callable
+    GRADIENT_OPTIMIZERS = ("adam", "l-bfgs-b", "bfgs", "slsqp")
 
     def __init__(self, hamiltonian: QubitOperator,
                  ansatz: Circuit | UCCSDAnsatz, *,
@@ -83,7 +96,8 @@ class VQE:
                  max_bond_dimension: int | None = None,
                  measurement: str | None = None,
                  optimizer: str = "cobyla", tolerance: float = 1e-8,
-                 max_iterations: int = 2000, parallel: str | None = None,
+                 max_iterations: int = 2000, grad: str | None = None,
+                 parallel: str | None = None,
                  n_workers: int | None = None):
         self.uccsd = ansatz if isinstance(ansatz, UCCSDAnsatz) else None
         spec = backend_spec(simulator)
@@ -121,6 +135,33 @@ class VQE:
         self.optimizer = optimizer.lower()
         self.tolerance = tolerance
         self.max_iterations = max_iterations
+        self.grad = None if grad is None else \
+            str(grad).lower().replace("-", "_")
+        if self.grad is not None:
+            from repro.vqe.gradients import GRADIENT_SOURCES
+
+            if self.grad not in GRADIENT_SOURCES:
+                raise ValidationError(
+                    f"unknown gradient source {grad!r}; expected one of "
+                    f"{GRADIENT_SOURCES}"
+                )
+            if self.optimizer not in self.GRADIENT_OPTIMIZERS:
+                raise ValidationError(
+                    f"optimizer {self.optimizer!r} is gradient-free; "
+                    f"grad= applies to {self.GRADIENT_OPTIMIZERS}"
+                )
+            if spec.kind == "ansatz" and self.grad != "finite_diff":
+                raise ValidationError(
+                    f"backend {simulator!r} evaluates in closed form; "
+                    f"only grad='finite_diff' applies (adjoint and "
+                    f"parameter-shift need circuits)"
+                )
+            if self.grad == "adjoint" and "adjoint" not in spec.gradients:
+                raise ValidationError(
+                    f"backend {simulator!r} declares no adjoint gradient "
+                    f"support; registered analytic sources: "
+                    f"{spec.gradients or '()'}"
+                )
 
     def run(self, initial_parameters: np.ndarray | None = None,
             seed: int | None = None) -> VQEResult:
@@ -153,17 +194,25 @@ class VQE:
 
     def _dispatch(self, x0: np.ndarray, seed: int | None) -> OptimizationResult:
         f = self.evaluator
+        gradient = None
+        if self.grad is not None:
+            from repro.vqe.gradients import make_gradient
+
+            gradient = make_gradient(self.evaluator, self.grad,
+                                     n_parameters=self.n_parameters)
         if self.optimizer in ("cobyla", "l-bfgs-b", "nelder-mead", "slsqp",
                               "powell", "bfgs"):
             return minimize_scipy(f, x0, method=self.optimizer.upper(),
                                   tolerance=self.tolerance,
-                                  max_iterations=self.max_iterations)
+                                  max_iterations=self.max_iterations,
+                                  gradient=gradient)
         if self.optimizer == "spsa":
             return minimize_spsa(f, x0, max_iterations=self.max_iterations,
                                  seed=seed)
         if self.optimizer == "adam":
             return minimize_adam(f, x0, max_iterations=self.max_iterations,
-                                 tolerance=self.tolerance)
+                                 tolerance=self.tolerance,
+                                 gradient=gradient)
         raise ValidationError(f"unknown optimizer {self.optimizer!r}")
 
     def close(self) -> None:

@@ -29,12 +29,40 @@ class SolvedMolecule:
         momod.attach_eri(self.scf, self.eri_ao)
         self.mo = momod.from_scf(self.scf)
         self._fci = None
+        self._hamiltonian = None
+        self._uccsd_circuit = None
 
     @property
     def fci(self):
         if self._fci is None:
             self._fci = FCISolver(self.mo).solve()
         return self._fci
+
+    @property
+    def qubit_hamiltonian(self):
+        """Jordan-Wigner qubit Hamiltonian (built once per session)."""
+        if self._hamiltonian is None:
+            from repro.operators.molecular import (
+                molecular_qubit_hamiltonian,
+            )
+
+            self._hamiltonian = molecular_qubit_hamiltonian(self.mo)
+        return self._hamiltonian
+
+    @property
+    def uccsd_circuit(self):
+        """Flattened UCCSD ansatz circuit (built once per session).
+
+        Shared by the VQE, gradient and counter-budget suites so the
+        Trotterized gate stream is synthesized at most once per
+        molecule per test session.
+        """
+        if self._uccsd_circuit is None:
+            from repro.circuits.uccsd import UCCSDAnsatz
+
+            self._uccsd_circuit = UCCSDAnsatz(
+                self.mo.n_orbitals, self.mo.n_electrons).circuit()
+        return self._uccsd_circuit
 
 
 #: session-wide cache: (molecule name, geometry hash, basis) -> SolvedMolecule

@@ -32,6 +32,21 @@ class TestEnergyCommand:
                      "--simulator", "fast"]) == 0
         assert "-1.1372" in capsys.readouterr().out
 
+    def test_vqe_adjoint_grad(self, capsys):
+        """--grad adjoint switches to gradient-driven adam and converges."""
+        assert main(["energy", "--molecule", "h2", "--method", "vqe",
+                     "--simulator", "mps", "--grad", "adjoint",
+                     "--max-iterations", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "-1.137" in out
+        assert "adam" in out
+
+    def test_grad_rejects_gradient_free_optimizer(self, capsys):
+        assert main(["energy", "--molecule", "h2", "--method", "vqe",
+                     "--simulator", "mps", "--grad", "adjoint",
+                     "--optimizer", "cobyla"]) == 1
+        assert "gradient-free" in capsys.readouterr().err
+
     def test_dmet_on_ring(self, capsys):
         assert main(["energy", "--molecule", "ring:6", "--method",
                      "dmet-fci", "--equivalent"]) == 0
