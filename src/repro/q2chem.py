@@ -101,6 +101,8 @@ class Q2Chemistry:
                    initial_parameters: np.ndarray | None = None,
                    parallel: str | None = None,
                    n_workers: int | None = None,
+                   tune: str | None = None,
+                   calibration_cache: str | None = None,
                    observe: bool = False) -> VQEResult:
         """MPS-VQE (or SV-VQE) on the full active space.
 
@@ -111,7 +113,8 @@ class Q2Chemistry:
         "per_term"); ``parallel``/``n_workers`` route
         energy evaluations through the level-2 parallel measurement engine
         (executor name + pool width); results are bitwise identical across
-        executors and worker counts.  ``observe=True`` collects the
+        executors and worker counts.  ``tune``/``calibration_cache``
+        engage the calibrated kernel autotuner (see :mod:`repro.tune`).  ``observe=True`` collects the
         :mod:`repro.obs` instrumentation for just this run and attaches
         the snapshot as ``result.metrics`` (see docs/OBSERVABILITY.md).
         """
@@ -122,7 +125,8 @@ class Q2Chemistry:
                  max_bond_dimension=max_bond_dimension,
                  measurement=measurement, optimizer=optimizer,
                  tolerance=tolerance, max_iterations=max_iterations,
-                 grad=grad, parallel=parallel, n_workers=n_workers) as vqe:
+                 grad=grad, parallel=parallel, n_workers=n_workers,
+                 tune=tune, calibration_cache=calibration_cache) as vqe:
             if observe:
                 from repro import obs
 

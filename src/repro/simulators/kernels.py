@@ -20,12 +20,34 @@ Backends are process-global and selectable with :func:`set_backend`
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 from scipy import linalg as sla
 
 from repro.common.errors import ValidationError
+from repro.obs import metrics as _obs
+
+#: bump when kernel arithmetic or plan layout changes - part of the
+#: calibration-cache fingerprint (repro.tune), so stale timing models are
+#: re-probed instead of silently trusted against new kernels
+KERNEL_VERSION = 1
+
+#: compiled contraction plans kept per backend; one (shape, axes) signature
+#: per gate/measurement shape class, so steady state is far below this -
+#: the bound only guards long multi-molecule runs against unbounded growth
+PLAN_CACHE_MAX = 512
+
+# observability instruments (free unless `repro.obs` is enabled); these
+# merge across process workers like every other labelled counter
+_M_PLAN_CACHE = _obs.counter(
+    "kernels.plan_cache",
+    "contraction-plan cache lookups, labelled hit/miss/evict")
+_M_GEMM = _obs.counter(
+    "kernels.gemm_calls", "fused permute+GEMM contractions executed")
+_M_SVD = _obs.counter(
+    "kernels.svd_calls", "truncated SVD kernel invocations")
 
 
 # ---------------------------------------------------------------------------
@@ -46,12 +68,21 @@ class _Plan:
 
 @dataclass
 class KernelBackend:
-    """Kernel dispatch table plus cache statistics."""
+    """Kernel dispatch table plus cache statistics.
+
+    ``plan_cache`` is a bounded LRU (the ``routing_plan`` pattern): hits
+    refresh recency, overflow evicts the least-recently-used signature,
+    and the hit/miss/eviction traffic is mirrored into the labelled
+    ``kernels.plan_cache`` obs counter so it merges across processes and
+    shows up in the pinned counter budgets.
+    """
 
     name: str = "blas"
-    plan_cache: dict = field(default_factory=dict)
+    plan_cache: OrderedDict = field(default_factory=OrderedDict)
+    max_plans: int = PLAN_CACHE_MAX
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
     gemm_calls: int = 0
     svd_calls: int = 0
 
@@ -59,12 +90,13 @@ class KernelBackend:
         return {
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
             "gemm_calls": self.gemm_calls,
             "svd_calls": self.svd_calls,
         }
 
     def reset_stats(self) -> None:
-        self.cache_hits = self.cache_misses = 0
+        self.cache_hits = self.cache_misses = self.cache_evictions = 0
         self.gemm_calls = self.svd_calls = 0
 
 
@@ -130,13 +162,25 @@ def tensordot_fused(a: np.ndarray, b: np.ndarray,
     axes_a = tuple(int(x) for x in axes[0])
     axes_b = tuple(int(x) for x in axes[1])
     key = (a.shape, b.shape, axes_a, axes_b)
-    plan = be.plan_cache.get(key)
+    cache = be.plan_cache
+    plan = cache.get(key)
+    enabled = _obs.REGISTRY.enabled
     if plan is None:
         plan = _compile_plan(a.shape, b.shape, axes_a, axes_b)
-        be.plan_cache[key] = plan
+        if len(cache) >= be.max_plans:
+            cache.popitem(last=False)
+            be.cache_evictions += 1
+            if enabled:
+                _M_PLAN_CACHE.inc(outcome="evict")
+        cache[key] = plan
         be.cache_misses += 1
+        if enabled:
+            _M_PLAN_CACHE.inc(outcome="miss")
     else:
+        cache.move_to_end(key)
         be.cache_hits += 1
+        if enabled:
+            _M_PLAN_CACHE.inc(outcome="hit")
 
     if be.name == "naive":
         return _tensordot_naive(a, b, axes_a, axes_b, plan)
@@ -148,6 +192,8 @@ def tensordot_fused(a: np.ndarray, b: np.ndarray,
     am = a.transpose(plan.perm_a).reshape(plan.rows_a, plan.cols)
     bm = b.transpose(plan.perm_b).reshape(plan.cols, plan.cols_b)
     be.gemm_calls += 1
+    if enabled:
+        _M_GEMM.inc()
     return (am @ bm).reshape(plan.out_shape)
 
 
@@ -202,6 +248,8 @@ def svd_truncated(m: np.ndarray, max_dim: int | None = None,
     """
     be = backend or _BACKEND
     be.svd_calls += 1
+    if _obs.REGISTRY.enabled:
+        _M_SVD.inc()
     if be.name == "naive":
         u, s, vh = _svd_reference(m)
     elif be.name == "plain":

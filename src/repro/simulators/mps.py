@@ -299,7 +299,8 @@ class MPS:
         """Verify the right-canonical invariant on every site."""
         for q in range(self.n_qubits):
             b = self.tensors[q]
-            g = np.einsum("lir,mir->lm", b, b.conj())
+            g = tensordot_fused(b, b.conj(), axes=((1, 2), (1, 2)),
+                                backend=self.backend)
             if not np.allclose(g, np.eye(b.shape[0]), atol=tolerance):
                 return False
         return True
@@ -398,9 +399,11 @@ class MPS:
         if disc > 0.0:
             # truncation removed weight; restore normalization exactly using
             # the local norm sum_l lambda_l^2 |B_q[l,:,:]|^2 (left part is
-            # canonical, right part is isometric)
-            local = np.einsum("l,lik,lik->", lam_left ** 2,
-                              new_b1, new_b1.conj()).real
+            # canonical, right part is isometric); |.|^2 row sums beat the
+            # three-operand einsum here - no complex multiplies
+            row_norms = (new_b1.real ** 2 + new_b1.imag ** 2) \
+                .reshape(new_b1.shape[0], -1).sum(axis=1)
+            local = float((lam_left * lam_left) @ row_norms)
             if local <= 0.0:
                 raise ValidationError("state collapsed during truncation")
             new_b1 = new_b1 / np.sqrt(local)
@@ -491,12 +494,16 @@ class MPS:
         bits = np.empty((n_samples, self.n_qubits), dtype=np.uint8)
         for k in range(self.n_qubits):
             b = self.tensors[k]
-            # unnormalized amplitudes of extending every prefix by 0/1
-            vec0 = env @ b[:, 0, :]
-            vec1 = env @ b[:, 1, :]
-            # right-canonicality: P(prefix+i) = |vec_i|^2
-            p0 = np.einsum("sr,sr->s", vec0, vec0.conj()).real
-            p1 = np.einsum("sr,sr->s", vec1, vec1.conj()).real
+            dl, _, dr = b.shape
+            # unnormalized amplitudes of extending every prefix by 0/1:
+            # both branches in ONE fused GEMM against the (dl, 2*dr)
+            # unfolding instead of two half-width multiplies
+            both = env @ b.reshape(dl, 2 * dr)
+            vec0, vec1 = both[:, :dr], both[:, dr:]
+            # right-canonicality: P(prefix+i) = |vec_i|^2; squared-modulus
+            # row sums avoid the complex einsum products
+            p0 = (vec0.real ** 2 + vec0.imag ** 2).sum(axis=1)
+            p1 = (vec1.real ** 2 + vec1.imag ** 2).sum(axis=1)
             total = p0 + p1
             if np.any(total <= 0.0):
                 raise ValidationError("zero-norm branch while sampling")

@@ -42,6 +42,7 @@ from repro.obs import metrics as _obs
 from repro.operators.pauli import QubitOperator
 from repro.simulators.mps import MPS
 from repro.simulators.pauli_kernels import observable_cache_key
+from repro.tune import policy as _tunepolicy
 
 # observability instruments (free unless `repro.obs` is enabled); every
 # counter is a deterministic function of (operator, state shape), so the
@@ -138,6 +139,10 @@ class SweepPlan:
     #: environment advances one full evaluation performs (the D^3 work);
     #: the cost model's sweep-side input
     n_env_steps: int
+    #: total support-span sites across all terms - what the *independent*
+    #: per-term walk would traverse (no environment sharing); the tuned
+    #: per-term arm's cost-model input
+    n_walk_steps: int = 0
 
     @property
     def n_terms(self) -> int:
@@ -195,6 +200,7 @@ def build_sweep_plan(op: QubitOperator, n_qubits: int) -> SweepPlan:
     combos: list[tuple[list[int], list[int]]] = [
         ([], []) for _ in range(n_qubits + 1)]
     n_env_steps = 0
+    n_walk_steps = 0
 
     def left_node(start: int, prefix: str) -> int:
         key = (start, prefix)
@@ -225,6 +231,7 @@ def build_sweep_plan(op: QubitOperator, n_qubits: int) -> SweepPlan:
         coeffs.append(complex(coeff))
         term_keys.append((term.x, term.z))
         span = len(chars)
+        n_walk_steps += span
         rev = chars[::-1]
         # choose the split bond greedily: cumulative weighted cost of the
         # *new* trie nodes each side would add (existing nodes are free;
@@ -312,6 +319,7 @@ def build_sweep_plan(op: QubitOperator, n_qubits: int) -> SweepPlan:
         combos=tuple((np.asarray(r, dtype=np.intp),
                       np.asarray(t, dtype=np.intp)) for r, t in combos),
         n_env_steps=n_env_steps,
+        n_walk_steps=n_walk_steps,
     )
 
 
@@ -330,9 +338,16 @@ _MPO_CACHE: dict[tuple, object] = {}
 _MPO_CACHE_MAX = 16
 
 
-def sweep_plan(op: QubitOperator, n_qubits: int) -> SweepPlan:
-    """Fetch (or build and cache) the :class:`SweepPlan` for an operator."""
-    key = observable_cache_key(op, n_qubits)
+def sweep_plan(op: QubitOperator, n_qubits: int,
+               _key: tuple | None = None) -> SweepPlan:
+    """Fetch (or build and cache) the :class:`SweepPlan` for an operator.
+
+    ``_key`` lets a caller that already computed the content hash (the
+    auto dispatcher, which shares one key across the plan and MPO
+    lookups) skip recomputing it - the hash sorts every term, a real
+    per-call cost on sub-millisecond evaluations.
+    """
+    key = observable_cache_key(op, n_qubits) if _key is None else _key
     hit = _PLAN_CACHE.get(key)
     if hit is None:
         _M_PLAN_CACHE.inc(outcome="miss")
@@ -345,11 +360,15 @@ def sweep_plan(op: QubitOperator, n_qubits: int) -> SweepPlan:
     return hit
 
 
-def compiled_mpo(op: QubitOperator, n_qubits: int):
-    """Fetch (or compile and cache) the compressed MPO for an operator."""
+def compiled_mpo(op: QubitOperator, n_qubits: int,
+                 _key: tuple | None = None):
+    """Fetch (or compile and cache) the compressed MPO for an operator.
+
+    ``_key`` is the precomputed content hash (see :func:`sweep_plan`).
+    """
     from repro.simulators.mpo import MPO
 
-    key = observable_cache_key(op, n_qubits)
+    key = observable_cache_key(op, n_qubits) if _key is None else _key
     hit = _MPO_CACHE.get(key)
     if hit is None:
         _M_MPO_CACHE.inc(outcome="miss")
@@ -467,8 +486,16 @@ def _dispatch_advance(advance, env: np.ndarray, bk: np.ndarray,
     threads never race on ``out``.
     """
     rows = env.shape[0]
-    step = _LEVEL3["slice_rows"]
-    if _LEVEL3["workers"] <= 1 or rows <= step:
+    workers = _LEVEL3["workers"]
+    if workers <= 1:
+        out[dst] = advance(env, bk, bc)
+        return
+    # a calibrated policy sizes the slice from the measured roofline; the
+    # partition stays a pure function of (rows, step), so any step choice
+    # is bitwise identical to the unsliced call
+    step = _tunepolicy.level3_slice_rows(
+        rows, env.shape[1], workers, _LEVEL3["slice_rows"])
+    if rows <= step:
         out[dst] = advance(env, bk, bc)
         return
     starts = range(0, rows, step)
@@ -482,25 +509,20 @@ def _dispatch_advance(advance, env: np.ndarray, bk: np.ndarray,
 
 
 # -- cost model ---------------------------------------------------------------
+#
+# The static formulas live in `repro.tune.policy` (single source of truth
+# for both this module's off-mode dispatch and the policy's static arm);
+# the historic names stay as thin wrappers for callers and tests.
 
 
 def _sweep_flops(plan: SweepPlan, d: int) -> float:
     """Estimated flops of one sweep evaluation at bond dimension ``d``."""
-    # each environment advance is two complex (D,D)x(D,2D)-shaped GEMMs;
-    # each term combines with one O(D^2) Frobenius product
-    return plan.n_env_steps * 16.0 * d ** 3 + plan.n_terms * 8.0 * d * d
+    return _tunepolicy.static_sweep_flops(plan.n_env_steps, plan.n_terms, d)
 
 
 def _mpo_flops(mpo, d: int) -> float:
     """Estimated flops of one MPS-MPO-MPS contraction at bond ``d``."""
-    dims = [1] + mpo.bond_dimensions() + [1]
-    total = 0.0
-    for wl, wr in zip(dims[:-1], dims[1:]):
-        # the three-layer transfer at one site: (ket tensor in, MPO tensor,
-        # bra tensor out) with MPO bonds (wl, wr) around bond dimension d
-        total += 8.0 * d ** 3 * wl + 16.0 * d * d * wl * wr \
-            + 8.0 * d ** 3 * wr
-    return total
+    return _tunepolicy.static_mpo_flops(mpo.bond_dimensions(), d)
 
 
 class MPSMeasurementEngine:
@@ -721,25 +743,37 @@ class MPSMeasurementEngine:
 
     def _expectation_auto(self, mps: MPS, op: QubitOperator,
                           n_qubits: int | None = None) -> float:
-        """Cost-model selection between the sweep and MPO paths."""
+        """Cost-model selection between the sweep, MPO and per-term paths.
+
+        With tuning off the decision is the historic static flop
+        comparison (sweep vs MPO only); ``tune=static`` routes the same
+        comparison through the policy layer for observability;
+        ``tune=auto`` compares *calibrated predicted times*, which also
+        unlocks the per-term arm for tiny operators where per-call
+        overhead, invisible to a flop model, dominates.
+        """
         n = mps.n_qubits if n_qubits is None else int(n_qubits)
         if n != mps.n_qubits:
             raise ValidationError(
                 f"operator register {n} != state register {mps.n_qubits}"
             )
-        plan = sweep_plan(op, n)
+        key = observable_cache_key(op, n)
+        plan = sweep_plan(op, n, _key=key)
         if not plan.term_keys:
             return float(plan.constant.real)
         d = mps.max_bond()
-        mpo = _MPO_CACHE.get(observable_cache_key(op, n))
+        mpo = _MPO_CACHE.get(key)
         if (mpo is None and n >= 2
                 and _MPO_MIN_TERMS <= plan.n_terms <= _MPO_MAX_TERMS):
-            mpo = compiled_mpo(op, n)
-        if mpo is not None and _mpo_flops(mpo, d) < _sweep_flops(plan, d):
+            mpo = compiled_mpo(op, n, _key=key)
+        pick = _tunepolicy.choose_measurement(plan, d, mpo)
+        if pick == "mpo":
             if _obs.REGISTRY.enabled:
                 _M_EVALS.inc(path="mpo")
                 _M_FLOPS.inc(_mpo_flops(mpo, d), path="mpo")
             return float(mpo.expectation(mps))
+        if pick == "per_term":
+            return self.expectation_per_term(mps, op)
         return self._evaluate_plan(mps, plan)
 
 

@@ -1,0 +1,60 @@
+"""Calibration-driven autotuning of the MPS kernel layer.
+
+``repro.tune`` closes the loop from *measured* kernel performance back to
+dispatch decisions (see docs/ARCHITECTURE.md "Autotuning"):
+
+* :mod:`repro.tune.calibrate` - a microbenchmark probe over the shape
+  grid the workloads hit, persisted as schema-versioned JSON
+  (``repro.tune/1``) in a content-addressed, fingerprint-keyed cache;
+* :mod:`repro.tune.policy` - a predicted-time dispatch policy replacing
+  the static flop comparison of ``mps_measure`` auto mode, plus measured
+  level-3 slice sizing, behind the process-global
+  ``tune="off" | "static" | "auto"`` knob.
+
+This package module stays import-light (the policy layer sits on the
+measurement hot path); the probe machinery loads lazily on first use.
+"""
+
+from repro.tune.policy import (TUNE_MODES, TunePolicy, active_policy,
+                               apply_tuning_config, choose_measurement,
+                               configure_tuning, tuning_config, tuning_mode)
+
+
+_LAZY = ("Calibration", "TUNE_SCHEMA", "cache_path", "calibrate",
+         "default_cache_dir", "fingerprint", "fingerprint_key",
+         "get_calibration", "validate_calibration")
+
+
+def __getattr__(name):
+    # lazy: probing pulls in the simulator stack; only pay on use.  All
+    # names bind at once so the `calibrate` *function* wins over the
+    # auto-registered `repro.tune.calibrate` submodule attribute.
+    if name in _LAZY:
+        import importlib
+
+        mod = importlib.import_module("repro.tune.calibrate")
+        for n in _LAZY:
+            globals()[n] = getattr(mod, n)
+        return globals()[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Calibration",
+    "TUNE_MODES",
+    "TUNE_SCHEMA",
+    "TunePolicy",
+    "active_policy",
+    "apply_tuning_config",
+    "cache_path",
+    "calibrate",
+    "choose_measurement",
+    "configure_tuning",
+    "default_cache_dir",
+    "fingerprint",
+    "fingerprint_key",
+    "get_calibration",
+    "tuning_config",
+    "tuning_mode",
+    "validate_calibration",
+]

@@ -1,0 +1,458 @@
+"""Microbenchmark probe and on-disk calibration cache.
+
+The probe times the *real* kernels of the MPS stack - the batched
+environment advance (the sweep/adjoint workhorse), the per-term Frobenius
+combine, the three-layer MPO transfer, the fused permute+GEMM contraction
+and the truncated SVD - over a shape grid spanning the bond dimensions and
+batch-row counts VQE workloads actually hit.  The measured seconds become
+the per-shape-class time model :class:`repro.tune.policy.TunePolicy`
+interpolates at dispatch time, the same measure-once-dispatch-forever
+pattern the paper's Sunway port applies to its JIT-specialized kernels
+(Sec. III-E) and the multi-GPU VQE work applies to its per-shape kernel
+cache (arXiv:2601.09951).
+
+Calibrations persist as schema-versioned JSON (``repro.tune/1``) in a
+content-addressed cache: the filename is derived from the machine
+fingerprint (platform, CPU count, BLAS backend, numpy version, dtype,
+kernel version), writes are atomic (temp file + ``os.replace``) so a
+crashed probe can never leave a half-written document a later run would
+trust, and a loaded document is revalidated against both the schema and
+the live fingerprint before use - a stale or foreign file triggers a
+re-probe, never a wrong dispatch table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.obs import metrics as _obs
+
+#: schema tag of persisted calibration documents (see docs/OBSERVABILITY.md)
+TUNE_SCHEMA = "repro.tune/1"
+
+_M_PROBE_RUNS = _obs.counter(
+    "tune.probe_runs",
+    "full microbenchmark probe executions (cache misses); workers attach "
+    "to the parent's calibration so this stays 1 per job")
+_M_CACHE = _obs.counter(
+    "tune.cache",
+    "calibration-cache lookups, labelled by outcome "
+    "(hit | miss | invalid | mismatch)")
+
+_REQUIRED_KERNELS = ("env_advance", "combine", "mpo_transfer", "gemm",
+                     "svd", "per_term_site", "dispatch")
+
+_PROBE_SEED = 20220814  # fixed: probe inputs are deterministic
+
+
+# ---------------------------------------------------------------------------
+# machine fingerprint
+# ---------------------------------------------------------------------------
+
+def _blas_signature() -> str:
+    """Best-effort identification of the BLAS numpy is linked against."""
+    try:
+        cfg = np.show_config(mode="dicts")
+        blas = cfg.get("Build Dependencies", {}).get("blas", {})
+        name = blas.get("name", "unknown")
+        version = blas.get("version", "")
+        return f"{name}-{version}" if version else str(name)
+    except Exception:  # pragma: no cover - very old numpy
+        return "unknown"
+
+
+def fingerprint() -> dict:
+    """The calibration cache key: machine + toolchain + kernel version."""
+    from repro.simulators.kernels import KERNEL_VERSION
+
+    return {
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "blas": _blas_signature(),
+        "dtype": "complex128",
+        "kernel_version": KERNEL_VERSION,
+    }
+
+
+def fingerprint_key(fp: dict | None = None) -> str:
+    """Content address of a fingerprint (first 16 hex of its SHA-256)."""
+    payload = json.dumps(fp or fingerprint(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# timing helpers
+# ---------------------------------------------------------------------------
+
+def _time_kernel(fn, repeats: int) -> float:
+    """Best-of-``repeats`` seconds for one call of ``fn``.
+
+    Sub-100us kernels are batched into an inner loop sized off a pilot
+    run, so the perf_counter granularity never dominates the measurement.
+    """
+    fn()  # warm caches / BLAS thread pools / plan compilation
+    t0 = time.perf_counter()
+    fn()
+    pilot = time.perf_counter() - t0
+    inner = max(1, int(1e-4 / max(pilot, 1e-8)))
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / inner)
+    return max(best, 1e-9)
+
+
+def _rand_complex(rng, *shape) -> np.ndarray:
+    return (rng.standard_normal(shape)
+            + 1j * rng.standard_normal(shape)) / np.sqrt(2.0)
+
+
+# ---------------------------------------------------------------------------
+# the probe
+# ---------------------------------------------------------------------------
+
+def _probe_grids(quick: bool) -> dict:
+    if quick:
+        return {
+            "rows": [1, 8, 64],
+            "d": [4, 16, 64],
+            "w": [4, 16],
+            "gemm_n": [64, 192],
+            "pt_d": [4, 16, 64],
+        }
+    return {
+        "rows": [1, 4, 16, 64, 256],
+        "d": [2, 4, 8, 16, 32, 64, 128],
+        "w": [2, 4, 8, 16, 32],
+        "gemm_n": [32, 64, 128, 192, 384, 512],
+        "pt_d": [2, 4, 8, 16, 32, 64],
+    }
+
+
+def calibrate(quick: bool = True, repeats: int | None = None) -> "Calibration":
+    """Run the microbenchmark probe and return a fresh calibration.
+
+    ``quick`` trades grid density for probe wall time (the quick grid
+    finishes in well under a second on commodity hardware and is what the
+    CI job runs); ``repeats`` overrides the best-of repetition count.
+    """
+    from repro.simulators import mps_measure as _mm
+    from repro.simulators.kernels import (KernelBackend, svd_truncated,
+                                          tensordot_fused)
+
+    reps = repeats if repeats is not None else (2 if quick else 5)
+    grids = _probe_grids(quick)
+    rng = np.random.default_rng(_PROBE_SEED)
+    if _obs.REGISTRY.enabled:
+        _M_PROBE_RUNS.inc()
+    started = time.time()
+
+    # batched environment advance: the sweep / adjoint-gradient workhorse
+    env_t: list[list[float]] = []
+    comb_t: list[list[float]] = []
+    for rows in grids["rows"]:
+        env_row, comb_row = [], []
+        for d in grids["d"]:
+            env = _rand_complex(rng, rows, d, d)
+            bk = _rand_complex(rng, d, 2, d)
+            bc = _rand_complex(rng, d, 2, d)
+            env_row.append(_time_kernel(
+                lambda: _mm._advance_left(env, bk, bc), reps))
+            other = _rand_complex(rng, rows, d, d)
+            comb_row.append(_time_kernel(
+                lambda: np.einsum("kij,kij->k", env, other), reps))
+        env_t.append(env_row)
+        comb_t.append(comb_row)
+
+    # three-layer MPO transfer at one site (square MPO bond w)
+    mpo_t: list[list[float]] = []
+    for d in grids["d"]:
+        row = []
+        for w in grids["w"]:
+            envw = _rand_complex(rng, d, w, d)
+            b = _rand_complex(rng, d, 2, d)
+            wt = _rand_complex(rng, w, 2, 2, w)
+
+            def site():
+                tmp = np.einsum("amc,aib->mcib", envw, b, optimize=True)
+                tmp = np.einsum("mcib,mjin->cbjn", tmp, wt, optimize=True)
+                return np.einsum("cbjn,cjd->bnd", tmp, b.conj(),
+                                 optimize=True)
+
+            row.append(_time_kernel(site, reps))
+        mpo_t.append(row)
+
+    # fused permute+GEMM and truncated SVD on square shapes
+    probe_backend = KernelBackend(name="blas")
+    gemm_t = []
+    for n in grids["gemm_n"]:
+        a = _rand_complex(rng, n, n)
+        b2 = _rand_complex(rng, n, n)
+        gemm_t.append(_time_kernel(
+            lambda: tensordot_fused(a, b2, axes=((1,), (0,)),
+                                    backend=probe_backend), reps))
+    svd_t = []
+    for d in grids["d"]:
+        m = _rand_complex(rng, 2 * d, 2 * d)
+        svd_t.append(_time_kernel(
+            lambda: svd_truncated(m, backend=probe_backend), reps))
+
+    # per-term transfer walk: one single-row advance per support site,
+    # including the python dispatch overhead the batched paths amortize
+    pt_t = []
+    for d in grids["pt_d"]:
+        env1 = _rand_complex(rng, 1, d, d)
+        bk = _rand_complex(rng, d, 2, d)
+        bc = _rand_complex(rng, d, 2, d)
+
+        def walk_site():
+            return _mm._advance_left(env1, bk, bc)
+
+        pt_t.append(_time_kernel(walk_site, reps) + 2e-6)
+    # the flat 2us stands in for the per-site python bookkeeping of
+    # MPS.expectation_pauli (dict lookups, slicing) the probe loop elides
+
+    # thread-pool dispatch overhead (level-3 slice futures)
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        def dispatch():
+            list(pool.map(int, range(8)))
+
+        dispatch_s = _time_kernel(dispatch, reps) / 8.0
+
+    fp = fingerprint()
+    doc = {
+        "schema": TUNE_SCHEMA,
+        "fingerprint": fp,
+        "fingerprint_key": fingerprint_key(fp),
+        "created_unix": started,
+        "probe": {"quick": bool(quick), "repeats": reps,
+                  "wall_s": time.time() - started},
+        "kernels": {
+            "env_advance": {"axes": {"rows": grids["rows"],
+                                     "d": grids["d"]},
+                            "seconds": env_t},
+            "combine": {"axes": {"rows": grids["rows"], "d": grids["d"]},
+                        "seconds": comb_t},
+            "mpo_transfer": {"axes": {"d": grids["d"], "w": grids["w"]},
+                             "seconds": mpo_t},
+            "gemm": {"axes": {"n": grids["gemm_n"]}, "seconds": gemm_t},
+            "svd": {"axes": {"d": grids["d"]}, "seconds": svd_t},
+            "per_term_site": {"axes": {"d": grids["pt_d"]},
+                              "seconds": pt_t},
+            "dispatch": {"overhead_s": dispatch_s},
+        },
+    }
+    doc["models"] = _fit_models(doc)
+    return Calibration(doc)
+
+
+def _fit_models(doc: dict) -> dict:
+    """Effective-throughput summaries per kernel class (for reporting).
+
+    The dispatch decisions interpolate the raw ``seconds`` grids; these
+    derived GFLOP/s / GB/s figures feed the calibrated roofline report in
+    :mod:`repro.obs.cost` and the ``repro calibrate`` summary table.
+    """
+    kernels = doc["kernels"]
+    models: dict = {}
+
+    env = kernels["env_advance"]
+    env_gflops = [[(16.0 * d ** 3 * rows) / s / 1e9
+                   for d, s in zip(env["axes"]["d"], row)]
+                  for rows, row in zip(env["axes"]["rows"], env["seconds"])]
+    models["env_advance"] = {
+        "gflops": env_gflops,
+        "peak_gflops": max(max(r) for r in env_gflops),
+    }
+
+    gemm = kernels["gemm"]
+    gemm_gflops = [(8.0 * n ** 3) / s / 1e9
+                   for n, s in zip(gemm["axes"]["n"], gemm["seconds"])]
+    models["gemm"] = {"gflops": gemm_gflops,
+                      "peak_gflops": max(gemm_gflops)}
+
+    comb = kernels["combine"]
+    # the combine is bandwidth-bound: 2 complex reads of rows*d*d
+    comb_gbps = [[(2 * 16.0 * d * d * rows) / s / 1e9
+                  for d, s in zip(comb["axes"]["d"], row)]
+                 for rows, row in zip(comb["axes"]["rows"],
+                                      comb["seconds"])]
+    models["combine"] = {"gbps": comb_gbps,
+                         "peak_gbps": max(max(r) for r in comb_gbps)}
+
+    mpo = kernels["mpo_transfer"]
+    mpo_gflops = [[(16.0 * d ** 3 * w + 16.0 * d * d * w * w) / s / 1e9
+                   for w, s in zip(mpo["axes"]["w"], row)]
+                  for d, row in zip(mpo["axes"]["d"], mpo["seconds"])]
+    models["mpo_transfer"] = {
+        "gflops": mpo_gflops,
+        "peak_gflops": max(max(r) for r in mpo_gflops),
+    }
+
+    svd = kernels["svd"]
+    # complex gesdd on a (2d, 2d) matrix, modeled at 22 * m^3 real flops
+    svd_gflops = [(22.0 * (2 * d) ** 3) / s / 1e9
+                  for d, s in zip(svd["axes"]["d"], svd["seconds"])]
+    models["svd"] = {"gflops": svd_gflops,
+                     "peak_gflops": max(svd_gflops)}
+    return models
+
+
+# ---------------------------------------------------------------------------
+# schema validation
+# ---------------------------------------------------------------------------
+
+def validate_calibration(doc: dict) -> dict:
+    """Validate a ``repro.tune/1`` document; returns it on success."""
+    if not isinstance(doc, dict):
+        raise ValidationError("calibration document must be an object")
+    if doc.get("schema") != TUNE_SCHEMA:
+        raise ValidationError(
+            f"unsupported calibration schema {doc.get('schema')!r}; "
+            f"expected {TUNE_SCHEMA!r}")
+    fp = doc.get("fingerprint")
+    if not isinstance(fp, dict) or "kernel_version" not in fp:
+        raise ValidationError("calibration missing machine fingerprint")
+    if doc.get("fingerprint_key") != fingerprint_key(fp):
+        raise ValidationError(
+            "calibration fingerprint_key does not match its fingerprint")
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, dict):
+        raise ValidationError("calibration missing kernels section")
+    for name in _REQUIRED_KERNELS:
+        entry = kernels.get(name)
+        if not isinstance(entry, dict):
+            raise ValidationError(f"calibration missing kernel {name!r}")
+        if name == "dispatch":
+            if not isinstance(entry.get("overhead_s"), (int, float)) \
+                    or entry["overhead_s"] < 0:
+                raise ValidationError("bad dispatch overhead")
+            continue
+        axes = entry.get("axes")
+        seconds = entry.get("seconds")
+        if not isinstance(axes, dict) or not axes or seconds is None:
+            raise ValidationError(f"kernel {name!r} missing axes/seconds")
+        sizes = [len(v) for v in axes.values()]
+        flat = np.asarray(seconds, dtype=float)
+        if list(flat.shape) != sizes:
+            raise ValidationError(
+                f"kernel {name!r} seconds shape {list(flat.shape)} != "
+                f"axes {sizes}")
+        if not np.all(flat > 0.0):
+            raise ValidationError(f"kernel {name!r} has non-positive times")
+    return doc
+
+
+class Calibration:
+    """A validated calibration document plus convenience accessors."""
+
+    def __init__(self, doc: dict):
+        self.doc = validate_calibration(doc)
+
+    @property
+    def key(self) -> str:
+        return self.doc["fingerprint_key"]
+
+    def matches_machine(self) -> bool:
+        """True when the document was measured on this toolchain/machine."""
+        return self.doc["fingerprint_key"] == fingerprint_key()
+
+    def peak_gflops(self, kernel: str = "gemm") -> float:
+        return float(self.doc["models"][kernel]["peak_gflops"])
+
+    def save(self, path: str | Path) -> Path:
+        """Atomic write: temp file in the same directory + os.replace."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(self.doc, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Calibration":
+        """Load + validate; raises ValidationError on any defect."""
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValidationError(
+                f"unreadable calibration file {path}: {exc}") from exc
+        return cls(doc)
+
+
+# ---------------------------------------------------------------------------
+# the content-addressed cache
+# ---------------------------------------------------------------------------
+
+def default_cache_dir() -> Path:
+    """$REPRO_CALIBRATION_CACHE, or ~/.cache/repro/tune."""
+    env = os.environ.get("REPRO_CALIBRATION_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "tune"
+
+
+def cache_path(cache_dir: str | Path | None = None) -> Path:
+    """The content-addressed file this machine's calibration lives at."""
+    base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return base / f"calibration-{fingerprint_key()}.json"
+
+
+def get_calibration(cache_dir: str | Path | None = None,
+                    quick: bool = True,
+                    refresh: bool = False) -> Calibration:
+    """Load the cached calibration for this machine, probing on a miss.
+
+    The loaded document must validate *and* carry this machine's
+    fingerprint; a partial write (crashed probe), a schema violation or a
+    foreign fingerprint all count as misses and trigger one re-probe,
+    whose result is atomically written back.
+    """
+    path = cache_path(cache_dir)
+    if not refresh and path.exists():
+        try:
+            cal = Calibration.load(path)
+        except ValidationError:
+            if _obs.REGISTRY.enabled:
+                _M_CACHE.inc(outcome="invalid")
+        else:
+            if cal.matches_machine():
+                if _obs.REGISTRY.enabled:
+                    _M_CACHE.inc(outcome="hit")
+                return cal
+            if _obs.REGISTRY.enabled:
+                _M_CACHE.inc(outcome="mismatch")
+    elif not refresh:
+        if _obs.REGISTRY.enabled:
+            _M_CACHE.inc(outcome="miss")
+    cal = calibrate(quick=quick)
+    cal.save(path)
+    return cal
+
+
+__all__ = [
+    "Calibration",
+    "TUNE_SCHEMA",
+    "cache_path",
+    "calibrate",
+    "default_cache_dir",
+    "fingerprint",
+    "fingerprint_key",
+    "get_calibration",
+    "validate_calibration",
+]

@@ -1,0 +1,394 @@
+"""Measured-time dispatch policy for the MPS kernel layer.
+
+The static flop model that shipped with the measurement engine compares
+*operation counts*, which is the right first-order answer but ignores the
+machine: at small bond dimensions per-call overhead dominates, at large
+ones the effective GFLOP/s of a batched GEMM differs from that of a
+three-layer MPO transfer by integer factors.  This module closes the loop
+(ROADMAP "roofline-driven autotuning"): a :class:`TunePolicy` predicts the
+*wall time* of each candidate evaluation path from the calibration grids
+measured by :mod:`repro.tune.calibrate` and picks the cheapest.
+
+Three process-global settings (mirroring ``kernels.set_backend`` and
+``mps_measure.configure_level3``):
+
+* ``off``    - the tuning layer is inert; ``auto`` measurement mode runs
+  the historic static flop comparison and no ``tune.*`` counters fire;
+* ``static`` - decisions are routed through the policy layer but fed by
+  the same static flop model, so they are *identical to off by
+  construction* (this is the reporting/observability arm);
+* ``auto``   - decisions use the calibrated time model, including the
+  per-term arm for tiny operators and measured level-3 slice sizing.
+
+Determinism contract: a policy decision is a pure function of
+(operator schedule, bond dimension, calibration document) - never of the
+executor, the worker count, or wall-clock measurements taken during the
+run - so every worker holding the same shipped calibration makes the same
+choice, and execution-level knobs the policy adjusts (level-3 slice rows,
+GEMM batch slicing) are bitwise-neutral by the level-3 invariant.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ValidationError
+from repro.obs import metrics as _obs
+
+#: valid values for the process-global ``tune`` knob
+TUNE_MODES = ("off", "static", "auto")
+
+#: the calibrated per-term arm is only offered to operators at or below
+#: this many non-identity terms - beyond that the shared-environment sweep
+#: amortizes environments the per-term walk rebuilds from scratch
+PER_TERM_MAX_TERMS = 8
+
+_M_DECISIONS = _obs.counter(
+    "tune.decisions",
+    "auto measurement-mode decisions, labelled by chosen path and by "
+    "the deciding model (static | calibrated)")
+_M_SLICE_PICKS = _obs.counter(
+    "tune.slice_picks",
+    "calibrated level-3 slice-row selections, labelled by outcome "
+    "(cached | computed)")
+
+
+# ---------------------------------------------------------------------------
+# static flop model (the historic auto-selection arithmetic)
+# ---------------------------------------------------------------------------
+#
+# These formulas are the single source of truth; `mps_measure` re-exports
+# them under their historic `_sweep_flops`/`_mpo_flops` names.
+
+def static_sweep_flops(n_env_steps: int, n_terms: int, d: int) -> float:
+    """Modeled flops of one sweep evaluation at bond dimension ``d``.
+
+    Each environment advance is two complex (D,D)x(D,2D)-shaped GEMMs;
+    each term combines with one O(D^2) Frobenius product.
+    """
+    return n_env_steps * 16.0 * d ** 3 + n_terms * 8.0 * d * d
+
+
+def static_mpo_flops(bond_dims: list[int], d: int) -> float:
+    """Modeled flops of one MPS-MPO-MPS contraction at bond ``d``.
+
+    ``bond_dims`` are the MPO's internal bond dimensions (the
+    ``MPO.bond_dimensions()`` list).
+    """
+    dims = [1] + list(bond_dims) + [1]
+    total = 0.0
+    for wl, wr in zip(dims[:-1], dims[1:]):
+        total += 8.0 * d ** 3 * wl + 16.0 * d * d * wl * wr \
+            + 8.0 * d ** 3 * wr
+    return total
+
+
+def static_per_term_flops(n_walk_steps: int, d: int) -> float:
+    """Modeled flops of the independent per-term transfer walk."""
+    # each support site costs one (D,2D)x(2D,D)-shaped pair of GEMMs on a
+    # single environment row
+    return n_walk_steps * 16.0 * d ** 3
+
+
+# ---------------------------------------------------------------------------
+# grid interpolation helpers
+# ---------------------------------------------------------------------------
+
+def _interp1(xs: list[float], ys: list[float], x: float) -> float:
+    """Piecewise-linear interpolation in log-log space, clamped at ends.
+
+    Kernel times over shape grids are near power laws, so log-log
+    interpolation tracks them across decades; outside the measured grid
+    the nearest measured slope is *not* extrapolated (clamping to the end
+    value per unit flop keeps predictions conservative).
+    """
+    if x <= xs[0]:
+        return ys[0]
+    if x >= xs[-1]:
+        return ys[-1]
+    for i in range(1, len(xs)):
+        if x <= xs[i]:
+            lo, hi = xs[i - 1], xs[i]
+            t = (math.log(x) - math.log(lo)) / (math.log(hi) - math.log(lo))
+            return math.exp((1.0 - t) * math.log(ys[i - 1])
+                            + t * math.log(ys[i]))
+    return ys[-1]  # pragma: no cover - unreachable
+
+
+def _interp2(xs: list[float], ys: list[float], table: list[list[float]],
+             x: float, y: float) -> float:
+    """Bilinear interpolation (log space on every axis) over a 2-D grid."""
+    col = [_interp1(ys, row, y) for row in table]
+    return _interp1(xs, col, x)
+
+
+# ---------------------------------------------------------------------------
+# the policy
+# ---------------------------------------------------------------------------
+
+class TunePolicy:
+    """Predicted-time dispatch decisions from one calibration document.
+
+    ``calibration`` is a :class:`repro.tune.calibrate.Calibration` (or
+    ``None`` for the static arm).  All predictions are memoised: VQE
+    re-evaluates the same (operator, bond-dimension) pairs thousands of
+    times per optimization, and a decision only depends on that pair.
+    """
+
+    def __init__(self, calibration=None):
+        self.calibration = calibration
+        self._mode_cache: dict[tuple, str] = {}
+        self._slice_cache: dict[tuple[int, int, int], int] = {}
+
+    # -- per-kernel time predictions -------------------------------------
+
+    def _kernel(self, name: str) -> dict:
+        return self.calibration.doc["kernels"][name]
+
+    def predict_env_advance(self, rows: int, d: int) -> float:
+        """Seconds for one batched environment advance of ``rows`` rows."""
+        k = self._kernel("env_advance")
+        return _interp2(k["axes"]["rows"], k["axes"]["d"], k["seconds"],
+                        float(max(rows, 1)), float(max(d, 1)))
+
+    def predict_combine(self, rows: int, d: int) -> float:
+        """Seconds for the O(D^2) per-term Frobenius combines."""
+        k = self._kernel("combine")
+        return _interp2(k["axes"]["rows"], k["axes"]["d"], k["seconds"],
+                        float(max(rows, 1)), float(max(d, 1)))
+
+    def predict_sweep(self, plan, d: int) -> float:
+        """Seconds for one shared-environment sweep evaluation."""
+        total = 0.0
+        for per_site in (plan.adv_l, plan.adv_r):
+            for groups in per_site:
+                for _ch, src, _dst in groups:
+                    total += self.predict_env_advance(len(src), d)
+        total += self.predict_combine(plan.n_terms, d)
+        return total
+
+    def predict_mpo(self, bond_dims: list[int], d: int) -> float:
+        """Seconds for one MPS-MPO-MPS transfer contraction."""
+        k = self._kernel("mpo_transfer")
+        dims = [1] + list(bond_dims) + [1]
+        total = 0.0
+        for wl, wr in zip(dims[:-1], dims[1:]):
+            w_eff = math.sqrt(wl * wr)
+            probe_t = _interp2(k["axes"]["d"], k["axes"]["w"],
+                               k["seconds"], float(d), w_eff)
+            # the probe times a square-w site; rescale by the modeled
+            # flop ratio of the actual (wl, wr) site
+            probe_flops = 16.0 * d ** 3 * w_eff \
+                + 16.0 * d * d * w_eff * w_eff
+            site_flops = 8.0 * d ** 3 * wl + 16.0 * d * d * wl * wr \
+                + 8.0 * d ** 3 * wr
+            total += probe_t * (site_flops / probe_flops)
+        return total
+
+    def predict_per_term(self, plan, d: int) -> float:
+        """Seconds for the independent per-term transfer walk."""
+        k = self._kernel("per_term_site")
+        per_site = _interp1(k["axes"]["d"], k["seconds"], float(max(d, 1)))
+        return plan.n_walk_steps * per_site
+
+    # -- decisions --------------------------------------------------------
+
+    def choose_measurement(self, plan, d: int, mpo=None) -> str:
+        """Pick "sweep" | "mpo" | "per_term" for one (operator, D) pair.
+
+        With no calibration attached (the ``static`` arm) this reproduces
+        the historic flop comparison exactly - including its lack of a
+        per-term arm - so ``tune=static`` decisions match ``tune=off``
+        bitwise.
+        """
+        bond_dims = list(mpo.bond_dimensions()) if mpo is not None else None
+        key = (id(plan), plan.n_env_steps, plan.n_terms, d,
+               tuple(bond_dims) if bond_dims is not None else None)
+        pick = self._mode_cache.get(key)
+        if pick is None:
+            if self.calibration is None:
+                sweep = static_sweep_flops(plan.n_env_steps, plan.n_terms, d)
+                pick = "sweep"
+                if mpo is not None and static_mpo_flops(bond_dims, d) < sweep:
+                    pick = "mpo"
+            else:
+                times = {"sweep": self.predict_sweep(plan, d)}
+                if mpo is not None:
+                    times["mpo"] = self.predict_mpo(bond_dims, d)
+                if plan.n_terms <= PER_TERM_MAX_TERMS \
+                        and plan.n_walk_steps > 0:
+                    times["per_term"] = self.predict_per_term(plan, d)
+                pick = min(sorted(times), key=times.get)
+            if len(self._mode_cache) >= 512:
+                self._mode_cache.clear()
+            self._mode_cache[key] = pick
+        if _obs.REGISTRY.enabled:
+            _M_DECISIONS.inc(
+                path=pick,
+                model="static" if self.calibration is None else "calibrated")
+        return pick
+
+    def slice_rows(self, rows: int, d: int, workers: int,
+                   static_rows: int) -> int:
+        """Level-3 slice-row choice for one (rows, D, workers) shape.
+
+        Minimizes the predicted critical-path time ``slices-per-worker *
+        (advance(step, d) + dispatch overhead)`` over a fixed candidate
+        ladder; falls back to the static configuration when no
+        calibration is attached.  The choice feeds the bitwise-neutral
+        row-slice partition, so it can differ per machine without
+        touching results.
+        """
+        if self.calibration is None:
+            return static_rows
+        key = (rows, d, workers)
+        hit = self._slice_cache.get(key)
+        if hit is not None:
+            if _obs.REGISTRY.enabled:
+                _M_SLICE_PICKS.inc(outcome="cached")
+            return hit
+        overhead = float(
+            self.calibration.doc["kernels"]["dispatch"]["overhead_s"])
+        best_step, best_t = static_rows, math.inf
+        for step in (8, 16, 32, 64, 128, 256):
+            if step >= rows:
+                step = rows
+            n_slices = math.ceil(rows / step)
+            waves = math.ceil(n_slices / max(workers, 1))
+            t = waves * (self.predict_env_advance(min(step, rows), d)
+                         + overhead)
+            if t < best_t:
+                best_step, best_t = step, t
+            if step == rows:
+                break
+        if len(self._slice_cache) >= 1024:
+            self._slice_cache.clear()
+        self._slice_cache[key] = best_step
+        if _obs.REGISTRY.enabled:
+            _M_SLICE_PICKS.inc(outcome="computed")
+        return best_step
+
+
+# ---------------------------------------------------------------------------
+# process-global tuning state
+# ---------------------------------------------------------------------------
+
+_STATE: dict = {"mode": "off", "policy": None}
+
+
+def tuning_mode() -> str:
+    """The active process-global tune mode ("off" | "static" | "auto")."""
+    return _STATE["mode"]
+
+
+def active_policy() -> TunePolicy | None:
+    """The active policy, or None when tuning is off."""
+    return _STATE["policy"]
+
+
+def configure_tuning(mode: str = "off", calibration=None,
+                     cache_dir=None, quick: bool = True) -> str:
+    """Set the process-global tune mode; returns the mode applied.
+
+    ``mode="auto"`` attaches a calibrated policy: an explicit
+    ``calibration`` object wins, otherwise the on-disk calibration cache
+    under ``cache_dir`` is consulted and the microbenchmark probe runs
+    (once) on a miss.  ``mode="static"`` routes decisions through the
+    policy layer fed by the static flop model - decision-identical to
+    ``off``.  The executor layer ships this configuration to process
+    workers (:func:`tuning_config` / :func:`apply_tuning_config`) so every
+    worker dispatches identically.
+    """
+    if mode is None:
+        mode = "off"
+    if mode not in TUNE_MODES:
+        raise ValidationError(
+            f"unknown tune mode {mode!r}; expected one of {TUNE_MODES}")
+    if mode == "off":
+        _STATE["mode"] = "off"
+        _STATE["policy"] = None
+        return mode
+    if mode == "static":
+        _STATE["mode"] = "static"
+        _STATE["policy"] = TunePolicy(calibration=None)
+        return mode
+    if calibration is None:
+        from repro.tune.calibrate import get_calibration
+
+        calibration = get_calibration(cache_dir=cache_dir, quick=quick)
+    _STATE["mode"] = "auto"
+    _STATE["policy"] = TunePolicy(calibration=calibration)
+    return mode
+
+
+def tuning_config() -> tuple[str, dict | None]:
+    """Picklable (mode, calibration document) for shipping to workers."""
+    pol = _STATE["policy"]
+    doc = None
+    if pol is not None and pol.calibration is not None:
+        doc = pol.calibration.doc
+    return (_STATE["mode"], doc)
+
+
+def apply_tuning_config(config: tuple[str, dict | None]) -> None:
+    """Worker-side restore of a shipped tuning configuration.
+
+    Never probes: an ``auto`` config carries the parent's calibration
+    document, so the probe runs exactly once per job no matter how many
+    workers attach (the ``tune.probe_runs`` invariant).
+    """
+    mode, doc = config
+    if mode == "auto" and doc is not None:
+        pol = _STATE["policy"]
+        if (_STATE["mode"] == "auto" and pol is not None
+                and pol.calibration is not None
+                and pol.calibration.doc.get("fingerprint_key")
+                == doc.get("fingerprint_key")):
+            return  # same calibration already active: keep warm caches
+        from repro.tune.calibrate import Calibration
+
+        configure_tuning("auto", calibration=Calibration(doc))
+    else:
+        configure_tuning(mode if mode != "auto" else "off")
+
+
+def choose_measurement(plan, d: int, mpo=None) -> str:
+    """Module-level decision entry point used by ``mps_measure``.
+
+    With tuning off this *is* the historic static comparison (and emits
+    no ``tune.*`` counters); otherwise the active policy decides.
+    """
+    pol = _STATE["policy"]
+    if pol is None:
+        if mpo is not None and static_mpo_flops(
+                list(mpo.bond_dimensions()), d) < static_sweep_flops(
+                    plan.n_env_steps, plan.n_terms, d):
+            return "mpo"
+        return "sweep"
+    return pol.choose_measurement(plan, d, mpo)
+
+
+def level3_slice_rows(rows: int, d: int, workers: int,
+                      static_rows: int) -> int:
+    """Slice-row choice for the level-3 dispatcher (static fallback)."""
+    pol = _STATE["policy"]
+    if pol is None:
+        return static_rows
+    return pol.slice_rows(rows, d, workers, static_rows)
+
+
+__all__ = [
+    "PER_TERM_MAX_TERMS",
+    "TUNE_MODES",
+    "TunePolicy",
+    "active_policy",
+    "apply_tuning_config",
+    "choose_measurement",
+    "configure_tuning",
+    "level3_slice_rows",
+    "static_mpo_flops",
+    "static_per_term_flops",
+    "static_sweep_flops",
+    "tuning_config",
+    "tuning_mode",
+]

@@ -146,6 +146,52 @@ class TestMPSBudgets:
         assert seen[0] == seen[1] == seen[2]
 
 
+#: fused-kernel call totals for one cold-cache H2 theta = 0 evaluation;
+#: keyed by measurement mode.  These count *executed* kernels, so they
+#: are independent of the module-global plan-LRU warmth (unlike the
+#: hit/miss split, which depends on what earlier tests left cached).
+KERNEL_BUDGETS = {
+    "sweep": {"kernels.gemm_calls": 129, "kernels.svd_calls": 43},
+    "mpo": {"kernels.gemm_calls": 147, "kernels.svd_calls": 52},
+    "per_term": {"kernels.gemm_calls": 233, "kernels.svd_calls": 43},
+}
+
+
+class TestKernelCounterBudgets:
+    """The PR 8 satellite: `KernelBackend.stats()` bridged into labelled
+    obs counters.  GEMM/SVD call totals are pure functions of the
+    workload; every GEMM is preceded by exactly one plan-cache lookup."""
+
+    @pytest.mark.parametrize("mode", ["sweep", "mpo", "per_term"])
+    def test_h2_kernel_calls_pinned(self, h2, mode):
+        ham, ansatz = _hamiltonian_and_ansatz(h2)
+        _, reg = _measured_energy(ham, ansatz, simulator="mps",
+                                  measurement=mode)
+        budget = KERNEL_BUDGETS[mode]
+        got = {name: reg.value(name) for name in budget}
+        assert got == budget
+        lookups = sum(
+            slot["value"]
+            for slot in reg.snapshot()["kernels.plan_cache"]["values"]
+            if slot["labels"]["outcome"] in ("hit", "miss"))
+        assert lookups == budget["kernels.gemm_calls"]
+
+    def test_kernel_counters_merge_across_processes(self, h2):
+        """Worker-side kernel counters ship home through the obs merge:
+        process totals equal the serial-executor totals exactly."""
+        ham, ansatz = _hamiltonian_and_ansatz(h2)
+        names = ("kernels.gemm_calls", "kernels.svd_calls")
+        _, reg = _measured_energy(ham, ansatz, simulator="mps",
+                                  measurement="sweep",
+                                  parallel="serial", n_workers=1)
+        base = {name: reg.value(name) for name in names}
+        assert base["kernels.gemm_calls"] > 0
+        _, reg_p = _measured_energy(ham, ansatz, simulator="mps",
+                                    measurement="sweep",
+                                    parallel="process", n_workers=2)
+        assert {name: reg_p.value(name) for name in names} == base
+
+
 class TestParallelBudgets:
     """Level-2 task counts are worker-count independent by construction."""
 

@@ -125,4 +125,32 @@ class TestGlobalBackend:
         tensordot_fused(a, a, axes=((1,), (0,)), backend=backend)
         backend.reset_stats()
         assert backend.stats() == {"cache_hits": 0, "cache_misses": 0,
+                                   "cache_evictions": 0,
                                    "gemm_calls": 0, "svd_calls": 0}
+
+
+class TestPlanCacheBound:
+    def test_lru_eviction(self, rng):
+        be = KernelBackend(max_plans=2)
+        mats = [rng.standard_normal((n, n)) for n in (2, 3, 4)]
+        for m in mats:
+            tensordot_fused(m, m, axes=((1,), (0,)), backend=be)
+        assert be.cache_evictions == 1
+        assert len(be.plan_cache) == 2
+        # the 2x2 plan (least recently used) was dropped; re-use recompiles
+        tensordot_fused(mats[0], mats[0], axes=((1,), (0,)), backend=be)
+        assert be.cache_misses == 4
+        assert be.cache_evictions == 2
+
+    def test_lru_recency_order(self, rng):
+        be = KernelBackend(max_plans=2)
+        a = rng.standard_normal((2, 2))
+        b = rng.standard_normal((3, 3))
+        tensordot_fused(a, a, axes=((1,), (0,)), backend=be)
+        tensordot_fused(b, b, axes=((1,), (0,)), backend=be)
+        # touch `a` so `b` becomes LRU, then insert a third plan
+        tensordot_fused(a, a, axes=((1,), (0,)), backend=be)
+        c = rng.standard_normal((4, 4))
+        tensordot_fused(c, c, axes=((1,), (0,)), backend=be)
+        tensordot_fused(a, a, axes=((1,), (0,)), backend=be)
+        assert be.cache_hits == 2  # `a` stayed resident throughout

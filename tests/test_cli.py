@@ -176,3 +176,29 @@ class TestScalingCommand:
     def test_weak(self, capsys):
         assert main(["scaling", "--mode", "weak"]) == 0
         assert "weak scaling" in capsys.readouterr().out
+
+
+class TestCalibrateCommand:
+    def test_probe_writes_cache_and_artifact(self, tmp_path, capsys):
+        from repro.tune import Calibration, cache_path
+
+        artifact = tmp_path / "cal.json"
+        assert main(["calibrate", "--quick",
+                     "--calibration-cache", str(tmp_path),
+                     "--output", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "calibration" in out
+        assert "GFLOP/s" in out
+        assert "written to" in out
+        cached = Calibration.load(cache_path(tmp_path))
+        assert Calibration.load(artifact).doc == cached.doc
+
+        # second invocation reuses the cached document without re-probing
+        from repro import obs
+
+        with obs.collect() as reg:
+            assert main(["calibrate", "--quick",
+                         "--calibration-cache", str(tmp_path)]) == 0
+            assert reg.value("tune.probe_runs") == 0
+            assert reg.value("tune.cache", outcome="hit") == 1
+        assert cached.doc["fingerprint_key"] in capsys.readouterr().out

@@ -1,0 +1,22 @@
+"""Autotuner test fixtures: mutable doc copies + process-state hygiene."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+
+@pytest.fixture()
+def cal_doc(quick_calibration):
+    """A deep copy of the session calibration document, safe to mutate."""
+    return copy.deepcopy(quick_calibration.doc)
+
+
+@pytest.fixture(autouse=True)
+def _tuning_off_after_each_test():
+    """Tuning is process-global state; never leak it into other tests."""
+    yield
+    from repro.tune.policy import configure_tuning
+
+    configure_tuning("off")

@@ -1,0 +1,186 @@
+"""Calibration probe, schema validation and on-disk cache protocol."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.common.errors import ValidationError
+from repro.obs.export import validate_document
+from repro.tune import (
+    TUNE_SCHEMA,
+    Calibration,
+    cache_path,
+    fingerprint_key,
+    get_calibration,
+    validate_calibration,
+)
+from repro.tune.calibrate import _REQUIRED_KERNELS, default_cache_dir
+
+
+class TestProbe:
+    def test_quick_probe_is_valid_and_ours(self, quick_calibration):
+        assert quick_calibration.doc["schema"] == TUNE_SCHEMA
+        assert validate_calibration(quick_calibration.doc) \
+            is quick_calibration.doc
+        assert quick_calibration.matches_machine()
+        assert quick_calibration.key == fingerprint_key()
+
+    def test_every_required_kernel_probed(self, quick_calibration):
+        kernels = quick_calibration.doc["kernels"]
+        assert set(_REQUIRED_KERNELS) <= set(kernels)
+        assert kernels["dispatch"]["overhead_s"] >= 0
+
+    def test_models_fitted_with_positive_peaks(self, quick_calibration):
+        models = quick_calibration.doc["models"]
+        assert quick_calibration.peak_gflops("gemm") > 0
+        # the roofline models cover every kernel the policy predicts with
+        assert {"env_advance", "combine", "mpo_transfer", "gemm",
+                "svd"} <= set(models)
+        for name, entry in models.items():
+            peak = entry.get("peak_gflops", entry.get("peak_gbps"))
+            assert peak > 0, name
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip(self, quick_calibration, tmp_path):
+        path = quick_calibration.save(tmp_path / "cal.json")
+        loaded = Calibration.load(path)
+        assert loaded.doc == quick_calibration.doc
+        assert loaded.key == quick_calibration.key
+
+    def test_save_is_atomic_without_temp_residue(self, quick_calibration,
+                                                 tmp_path):
+        quick_calibration.save(tmp_path / "cal.json")
+        # overwriting in place must go through the same tmp + rename
+        quick_calibration.save(tmp_path / "cal.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["cal.json"]
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="unreadable"):
+            Calibration.load(tmp_path / "nope.json")
+
+
+class TestCacheProtocol:
+    def test_miss_probes_once_and_writes(self, tmp_path):
+        with obs.collect() as reg:
+            cal = get_calibration(cache_dir=tmp_path)
+            assert reg.value("tune.cache", outcome="miss") == 1
+            assert reg.value("tune.probe_runs") == 1
+        path = cache_path(tmp_path)
+        assert path.exists()
+        assert Calibration.load(path).doc == cal.doc
+
+    def test_hit_reuses_without_probing(self, quick_calibration, tmp_path):
+        quick_calibration.save(cache_path(tmp_path))
+        with obs.collect() as reg:
+            cal = get_calibration(cache_dir=tmp_path)
+            assert reg.value("tune.cache", outcome="hit") == 1
+            assert reg.value("tune.probe_runs") == 0
+        assert cal.doc == quick_calibration.doc
+
+    def test_partial_write_is_invalid_and_reprobed(self, quick_calibration,
+                                                   tmp_path):
+        # a writer killed mid-write leaves truncated JSON at the final
+        # path only if it skipped the atomic protocol; the loader must
+        # treat any such file as a miss, not crash or trust it
+        path = cache_path(tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(quick_calibration.doc)
+        path.write_text(text[: len(text) // 2])
+        with obs.collect() as reg:
+            cal = get_calibration(cache_dir=tmp_path)
+            assert reg.value("tune.cache", outcome="invalid") == 1
+            assert reg.value("tune.probe_runs") == 1
+        assert cal.matches_machine()
+        Calibration.load(path)  # healed on disk
+
+    def test_crashed_probe_tmp_file_never_visible(self, quick_calibration,
+                                                  tmp_path):
+        # the atomic writer that died between tmp-write and rename leaves
+        # only the dot-tmp file; it must not shadow a real calibration
+        path = cache_path(tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stray = path.with_name(f".{path.name}.tmp-99999")
+        stray.write_text(json.dumps(quick_calibration.doc))
+        with obs.collect() as reg:
+            get_calibration(cache_dir=tmp_path)
+            assert reg.value("tune.cache", outcome="miss") == 1
+        assert path.exists()
+
+    def test_foreign_fingerprint_triggers_reprobe(self, cal_doc, tmp_path):
+        # internally consistent document (key matches its fingerprint)
+        # measured on a different machine/toolchain
+        cal_doc["fingerprint"]["kernel_version"] = -1
+        cal_doc["fingerprint_key"] = fingerprint_key(cal_doc["fingerprint"])
+        path = cache_path(tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(cal_doc))
+        with obs.collect() as reg:
+            cal = get_calibration(cache_dir=tmp_path)
+            assert reg.value("tune.cache", outcome="mismatch") == 1
+            assert reg.value("tune.probe_runs") == 1
+        assert cal.matches_machine()
+        assert Calibration.load(path).matches_machine()
+
+    def test_refresh_forces_probe(self, quick_calibration, tmp_path):
+        quick_calibration.save(cache_path(tmp_path))
+        with obs.collect() as reg:
+            get_calibration(cache_dir=tmp_path, refresh=True)
+            assert reg.value("tune.probe_runs") == 1
+            assert reg.value("tune.cache", outcome="hit") == 0
+
+    def test_env_var_overrides_default_cache_dir(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_CALIBRATION_CACHE",
+                           str(tmp_path / "sub"))
+        assert default_cache_dir() == tmp_path / "sub"
+        assert cache_path().parent == tmp_path / "sub"
+
+
+class TestValidation:
+    def _reject(self, doc, match):
+        with pytest.raises(ValidationError, match=match):
+            validate_calibration(doc)
+
+    def test_rejects_wrong_schema(self, cal_doc):
+        cal_doc["schema"] = "repro.tune/0"
+        self._reject(cal_doc, "schema")
+
+    def test_rejects_missing_fingerprint(self, cal_doc):
+        del cal_doc["fingerprint"]
+        self._reject(cal_doc, "fingerprint")
+
+    def test_rejects_key_not_matching_fingerprint(self, cal_doc):
+        cal_doc["fingerprint_key"] = "0" * 16
+        self._reject(cal_doc, "fingerprint_key")
+
+    def test_rejects_missing_kernel(self, cal_doc):
+        del cal_doc["kernels"]["gemm"]
+        self._reject(cal_doc, "gemm")
+
+    def test_rejects_seconds_axes_shape_mismatch(self, cal_doc):
+        entry = cal_doc["kernels"]["env_advance"]
+        shape = np.asarray(entry["seconds"], dtype=float).shape
+        entry["seconds"] = np.ones([s + 1 for s in shape]).tolist()
+        self._reject(cal_doc, "shape")
+
+    def test_rejects_non_positive_times(self, cal_doc):
+        entry = cal_doc["kernels"]["gemm"]
+        arr = np.asarray(entry["seconds"], dtype=float)
+        arr.flat[0] = 0.0
+        entry["seconds"] = arr.tolist()
+        self._reject(cal_doc, "non-positive")
+
+    def test_rejects_bad_dispatch_overhead(self, cal_doc):
+        cal_doc["kernels"]["dispatch"]["overhead_s"] = -1.0
+        self._reject(cal_doc, "dispatch")
+
+    def test_export_validator_dispatches_tune_schema(self, cal_doc):
+        validate_document(cal_doc)  # valid: no exception
+        del cal_doc["kernels"]["gemm"]
+        with pytest.raises(ValueError, match="gemm"):
+            validate_document(cal_doc)

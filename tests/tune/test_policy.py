@@ -1,0 +1,232 @@
+"""Dispatch policy: static parity, calibrated arms, slice picks, knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.common.errors import ValidationError
+from repro.operators.pauli import QubitOperator
+from repro.simulators.mps import MPS
+from repro.simulators.mps_measure import (
+    MPSMeasurementEngine,
+    compiled_mpo,
+    sweep_plan,
+)
+from repro.tune import Calibration
+from repro.tune.policy import (
+    PER_TERM_MAX_TERMS,
+    TunePolicy,
+    active_policy,
+    apply_tuning_config,
+    choose_measurement,
+    configure_tuning,
+    level3_slice_rows,
+    tuning_config,
+    tuning_mode,
+)
+
+
+def _fragment() -> QubitOperator:
+    """A 3-term H2 Hamiltonian fragment (two diagonal + one hopping)."""
+    return (QubitOperator.from_term("ZIII", 0.17141282644776892)
+            + QubitOperator.from_term("ZZII", 0.16868898170361213)
+            + QubitOperator.from_term("XXYY", -0.045322202052874))
+
+
+class TestStaticParity:
+    """``tune=static`` must reproduce the ``off`` decisions bitwise."""
+
+    def test_static_policy_matches_off_decision(self, h2):
+        ham = h2.qubit_hamiltonian
+        n = ham.n_qubits()
+        plan = sweep_plan(ham, n)
+        mpo = compiled_mpo(ham, n)
+        configure_tuning("off")
+        static = TunePolicy(calibration=None)
+        for d in (1, 2, 4, 8, 16, 32, 64):
+            assert choose_measurement(plan, d, mpo) == \
+                static.choose_measurement(plan, d, mpo), d
+
+    def test_off_emits_no_tune_counters(self, h2):
+        ham = h2.qubit_hamiltonian
+        plan = sweep_plan(ham, ham.n_qubits())
+        configure_tuning("off")
+        with obs.collect() as reg:
+            choose_measurement(plan, 8, None)
+            assert reg.snapshot() == {}
+
+    def test_static_mode_emits_decision_counters(self, h2):
+        ham = h2.qubit_hamiltonian
+        plan = sweep_plan(ham, ham.n_qubits())
+        configure_tuning("static")
+        with obs.collect() as reg:
+            pick = choose_measurement(plan, 8, None)
+            assert reg.value("tune.decisions", path=pick,
+                             model="static") == 1
+
+
+class TestCalibratedArms:
+    def test_auto_picks_fastest_predicted_arm(self, quick_calibration, h2):
+        ham = h2.qubit_hamiltonian
+        n = ham.n_qubits()
+        plan = sweep_plan(ham, n)
+        mpo = compiled_mpo(ham, n)
+        pol = TunePolicy(calibration=quick_calibration)
+        assert plan.n_terms > PER_TERM_MAX_TERMS  # no per-term arm here
+        for d in (2, 8, 32):
+            times = {"sweep": pol.predict_sweep(plan, d),
+                     "mpo": pol.predict_mpo(list(mpo.bond_dimensions()),
+                                            d)}
+            assert pol.choose_measurement(plan, d, mpo) == \
+                min(sorted(times), key=times.get), d
+
+    def test_per_term_arm_dispatches_tiny_operators(self, cal_doc):
+        """The ISSUE 8 per-term regression: a calibration whose measured
+        per-term walks are near-free must route a 3-term fragment through
+        the per-term path in ``auto`` mode - bitwise equal to an explicit
+        ``per_term`` call, and float-equal to the sweep path."""
+        k = cal_doc["kernels"]["per_term_site"]
+        k["seconds"] = [1e-12 for _ in k["seconds"]]
+        frag = _fragment()
+        state = MPS.random_state(4, 4, seed=11)
+        e_ref = MPSMeasurementEngine().expectation(state, frag, 4,
+                                                   "per_term")
+        e_sweep = MPSMeasurementEngine().expectation(state, frag, 4,
+                                                     "sweep")
+        configure_tuning("auto", calibration=Calibration(cal_doc))
+        with obs.collect() as reg:
+            e_auto = MPSMeasurementEngine().expectation(state, frag, 4,
+                                                        "auto")
+            assert reg.value("mps_measure.evaluations",
+                             path="per_term") == 1
+            assert reg.value("tune.decisions", path="per_term",
+                             model="calibrated") == 1
+        assert e_auto == e_ref
+        assert abs(e_auto - e_sweep) < 1e-10
+
+    def test_per_term_arm_closed_for_large_operators(self, cal_doc, h2):
+        """Even a free per-term kernel must not capture operators past
+        the term cap - the arm exists for tiny fragments only."""
+        k = cal_doc["kernels"]["per_term_site"]
+        k["seconds"] = [1e-12 for _ in k["seconds"]]
+        ham = h2.qubit_hamiltonian
+        plan = sweep_plan(ham, ham.n_qubits())
+        pol = TunePolicy(calibration=Calibration(cal_doc))
+        assert pol.choose_measurement(plan, 8, None) != "per_term"
+
+    def test_auto_on_fragment_matches_some_arm_bitwise(self,
+                                                       quick_calibration):
+        frag = _fragment()
+        state = MPS.random_state(4, 4, seed=11)
+        arms = {m: MPSMeasurementEngine().expectation(state, frag, 4, m)
+                for m in ("sweep", "mpo", "per_term")}
+        configure_tuning("auto", calibration=quick_calibration)
+        e_auto = MPSMeasurementEngine().expectation(state, frag, 4, "auto")
+        assert e_auto in set(arms.values())
+
+
+class TestSlicePicks:
+    def test_off_returns_static_rows(self):
+        configure_tuning("off")
+        assert level3_slice_rows(1000, 32, 4, 32) == 32
+
+    def test_static_policy_returns_static_rows(self):
+        configure_tuning("static")
+        assert level3_slice_rows(1000, 32, 4, 32) == 32
+
+    def test_calibrated_pick_from_ladder_and_cached(self,
+                                                    quick_calibration):
+        configure_tuning("auto", calibration=quick_calibration)
+        with obs.collect() as reg:
+            step = level3_slice_rows(1000, 32, 4, 32)
+            assert step in (8, 16, 32, 64, 128, 256, 1000)
+            assert reg.value("tune.slice_picks", outcome="computed") == 1
+            assert level3_slice_rows(1000, 32, 4, 32) == step
+            assert reg.value("tune.slice_picks", outcome="cached") == 1
+
+    def test_pick_is_worker_count_aware_but_rows_pure(self,
+                                                      quick_calibration):
+        """The same (rows, d, workers) triple always picks the same step
+        (the partition must be reproducible), while the static fallback
+        row count never leaks into a calibrated pick."""
+        configure_tuning("auto", calibration=quick_calibration)
+        a = level3_slice_rows(512, 64, 4, 32)
+        b = level3_slice_rows(512, 64, 4, 7)  # different static fallback
+        assert a == b
+
+
+class TestConfigShipping:
+    def test_roundtrip_and_short_circuit(self, quick_calibration):
+        configure_tuning("auto", calibration=quick_calibration)
+        cfg = tuning_config()
+        assert cfg[0] == "auto"
+        assert cfg[1]["fingerprint_key"] == quick_calibration.key
+        configure_tuning("off")
+        apply_tuning_config(cfg)
+        assert tuning_mode() == "auto"
+        pol = active_policy()
+        assert pol.calibration.key == quick_calibration.key
+        # same fingerprint: the worker keeps its warm memoised caches
+        apply_tuning_config(cfg)
+        assert active_policy() is pol
+
+    def test_off_config_resets(self, quick_calibration):
+        configure_tuning("auto", calibration=quick_calibration)
+        apply_tuning_config(("off", None))
+        assert tuning_mode() == "off"
+        assert active_policy() is None
+
+    def test_static_config_ships_without_document(self):
+        configure_tuning("static")
+        cfg = tuning_config()
+        assert cfg == ("static", None)
+        configure_tuning("off")
+        apply_tuning_config(cfg)
+        assert tuning_mode() == "static"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValidationError, match="tune mode"):
+            configure_tuning("fastest")
+
+
+class TestEvaluatorKnob:
+    def test_rejects_unknown_mode(self, h2):
+        from repro.vqe.energy import EnergyEvaluator
+
+        with pytest.raises(ValidationError, match="tune"):
+            EnergyEvaluator(h2.qubit_hamiltonian, h2.uccsd_circuit,
+                            simulator="mps", tune="fastest")
+
+    def test_rejects_untunable_backend(self, h2):
+        from repro.vqe.energy import EnergyEvaluator
+
+        with pytest.raises(ValidationError, match="tunable"):
+            EnergyEvaluator(h2.qubit_hamiltonian, h2.uccsd_circuit,
+                            simulator="statevector", tune="auto")
+
+    def test_ansatz_backend_rejects_tune(self, h2):
+        from repro.circuits.uccsd import UCCSDAnsatz
+        from repro.vqe.vqe import VQE
+
+        ansatz = UCCSDAnsatz(h2.mo.n_orbitals, h2.mo.n_electrons)
+        with pytest.raises(ValidationError, match="tune"):
+            VQE(h2.qubit_hamiltonian, ansatz, simulator="fast",
+                tune="auto")
+
+    def test_explicit_off_resets_global_state(self, quick_calibration, h2):
+        from repro.vqe.energy import EnergyEvaluator
+
+        configure_tuning("auto", calibration=quick_calibration)
+        EnergyEvaluator(h2.qubit_hamiltonian, h2.uccsd_circuit,
+                        simulator="mps", tune="off").close()
+        assert tuning_mode() == "off"
+
+    def test_none_leaves_external_config_alone(self, quick_calibration,
+                                               h2):
+        from repro.vqe.energy import EnergyEvaluator
+
+        configure_tuning("auto", calibration=quick_calibration)
+        EnergyEvaluator(h2.qubit_hamiltonian, h2.uccsd_circuit,
+                        simulator="mps").close()
+        assert tuning_mode() == "auto"
