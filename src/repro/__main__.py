@@ -34,23 +34,7 @@ def _build_molecule(args):
     if args.xyz:
         with open(args.xyz) as fh:
             return geometry.Molecule.from_xyz(fh.read(), charge=args.charge)
-    spec = args.molecule.lower()
-    if spec == "h2":
-        return geometry.h2(args.bond or 0.7414)
-    if spec == "lih":
-        return geometry.lih(args.bond or 1.5949)
-    if spec in ("h2o", "water"):
-        return geometry.water()
-    if spec.startswith("ring:"):
-        return geometry.hydrogen_ring(int(spec.split(":")[1]),
-                                      args.bond or 1.0)
-    if spec.startswith("chain:"):
-        return geometry.hydrogen_chain(int(spec.split(":")[1]),
-                                       args.bond or 1.0)
-    raise ReproError(
-        f"unknown molecule spec {args.molecule!r}; use h2 | lih | h2o | "
-        "ring:N | chain:N or --xyz FILE"
-    )
+    return geometry.molecule_from_spec(args.molecule, bond=args.bond)
 
 
 def cmd_energy(args) -> int:
@@ -127,6 +111,70 @@ def _run_energy(args) -> int:
     else:
         raise ReproError(f"unknown method {args.method!r}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the in-process job service over a request file."""
+    import json
+    from pathlib import Path
+
+    from repro.serve import DEFAULT_MAX_BYTES, JobService, JobSpec
+
+    with open(args.requests) as fh:
+        doc = json.load(fh)
+    entries = doc["jobs"] if isinstance(doc, dict) else doc
+    if not isinstance(entries, list) or not entries:
+        raise ReproError(
+            f"request file {args.requests} must hold a non-empty JSON "
+            f"list of job specs (or an object with a 'jobs' list)")
+    specs = [JobSpec.from_dict(entry) for entry in entries]
+
+    metrics_dir = None
+    if args.metrics_out:
+        metrics_dir = Path(args.metrics_out)
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    with JobService(max_cache_bytes=args.cache_bytes or DEFAULT_MAX_BYTES,
+                    observe=metrics_dir is not None) as service:
+        job_ids = [service.submit(spec) for spec in specs]
+        for job_id in job_ids:
+            print(f"submitted {job_id}")
+        service.wait(job_ids, timeout=args.timeout)
+        summaries = []
+        for job_id in job_ids:
+            record = service.record(job_id)
+            summary = record.summary()
+            summaries.append(summary)
+            if record.status == "error":
+                failures += 1
+                print(f"{job_id} error   {record.spec.kind:<7}"
+                      f"{record.spec.molecule:<8}"
+                      f"({record.error_type}) {record.error}")
+            else:
+                hit = " [cache hit]" if record.cache_hit else ""
+                print(f"{job_id} done    {record.spec.kind:<7}"
+                      f"{record.spec.molecule:<8}"
+                      f"E = {record.result['energy']:+.8f} Ha{hit}")
+            if metrics_dir is not None and record.metrics is not None:
+                path = metrics_dir / f"{job_id}.json"
+                path.write_text(json.dumps(record.metrics, indent=2) + "\n")
+        stats = service.stats()
+        if args.results_out:
+            Path(args.results_out).write_text(json.dumps(
+                {"jobs": summaries, "stats": stats}, indent=2) + "\n")
+    cache = stats["cache"]
+    print(f"{stats['jobs']['done']} done, {failures} failed, "
+          f"{stats['jobs']['result_cache_hits']} served from result cache "
+          f"({stats['batches']} batches)")
+    print(f"cache: {cache['totals']['hits']} hits / "
+          f"{cache['totals']['misses']} misses "
+          f"(rate {cache['hit_rate']:.2f}), "
+          f"{cache['entries']} entries, {cache['bytes']:,} bytes")
+    print(f"throughput: {stats['throughput_jobs_per_s']:.2f} jobs/s")
+    if metrics_dir is not None:
+        print(f"per-request metrics written to {metrics_dir}")
+    return 1 if failures else 0
 
 
 def cmd_bench(args) -> int:
@@ -310,6 +358,28 @@ def build_parser() -> argparse.ArgumentParser:
                          "dmet.evaluate, ...) into the --metrics-out "
                          "document")
     pe.set_defaults(func=cmd_energy)
+
+    pv = sub.add_parser(
+        "serve",
+        help="run the in-process job service over a JSON request file: "
+             "submit every job, batch compatible work across requests "
+             "through the shared cache tier, print per-job results "
+             "(see docs/SERVING.md)")
+    pv.add_argument("--requests", required=True, metavar="FILE",
+                    help="JSON file: a list of job specs (fields of "
+                         "repro.serve.JobSpec), or {'jobs': [...]}")
+    pv.add_argument("--results-out", default=None, metavar="PATH",
+                    help="write every job summary + service stats as JSON")
+    pv.add_argument("--metrics-out", default=None, metavar="DIR",
+                    help="collect per-request repro.obs/2 metrics and "
+                         "write one <job-id>.json per job into DIR")
+    pv.add_argument("--cache-bytes", type=int,
+                    default=None, metavar="N",
+                    help="byte budget of the cross-request cache tier "
+                         "(default: 256 MiB)")
+    pv.add_argument("--timeout", type=float, default=None, metavar="S",
+                    help="overall wall-clock limit waiting for the jobs")
+    pv.set_defaults(func=cmd_serve)
 
     ps = sub.add_parser("scaling", help="replay the Sunway scaling runs")
     ps.add_argument("--mode", default="both",

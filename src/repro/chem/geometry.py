@@ -276,3 +276,29 @@ def h2_trimer(bond: float = 0.7414, separation: float = 2.5) -> Molecule:
         spec.append(("H", x, 0.0, 0.0))
         spec.append(("H", x, 0.0, bond))
     return Molecule.from_angstrom(spec, name="(H2)3")
+
+
+def molecule_from_spec(spec: str, *, bond: float | None = None) -> Molecule:
+    """Build a reference molecule from a short textual spec.
+
+    The vocabulary shared by the ``energy``/``info`` CLI and the serve
+    request format: ``h2 | lih | h2o | water | ring:N | chain:N``
+    (case-insensitive), with an optional bond-length override in
+    angstrom.  Unknown specs raise :class:`ValidationError` listing the
+    vocabulary, so callers can surface the message verbatim.
+    """
+    name = str(spec).lower()
+    if name == "h2":
+        return h2(bond or 0.7414)
+    if name == "lih":
+        return lih(bond or 1.5949)
+    if name in ("h2o", "water"):
+        return water()
+    if name.startswith("ring:"):
+        return hydrogen_ring(int(name.split(":")[1]), bond or 1.0)
+    if name.startswith("chain:"):
+        return hydrogen_chain(int(name.split(":")[1]), bond or 1.0)
+    raise ValidationError(
+        f"unknown molecule spec {spec!r}; use h2 | lih | h2o | "
+        "ring:N | chain:N"
+    )

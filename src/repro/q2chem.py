@@ -103,6 +103,9 @@ class Q2Chemistry:
                    n_workers: int | None = None,
                    tune: str | None = None,
                    calibration_cache: str | None = None,
+                   checkpoint_path: str | None = None,
+                   checkpoint_every: int = 1, resume: bool = False,
+                   seed: int | None = None,
                    observe: bool = False) -> VQEResult:
         """MPS-VQE (or SV-VQE) on the full active space.
 
@@ -114,7 +117,12 @@ class Q2Chemistry:
         energy evaluations through the level-2 parallel measurement engine
         (executor name + pool width); results are bitwise identical across
         executors and worker counts.  ``tune``/``calibration_cache``
-        engage the calibrated kernel autotuner (see :mod:`repro.tune`).  ``observe=True`` collects the
+        engage the calibrated kernel autotuner (see :mod:`repro.tune`).
+        ``checkpoint_path``/``checkpoint_every``/``resume`` snapshot the
+        optimizer state each iteration and restart interrupted runs to a
+        bitwise-identical trajectory (adam/spsa only, see
+        docs/SERVING.md); ``seed`` feeds the SPSA perturbation stream.
+        ``observe=True`` collects the
         :mod:`repro.obs` instrumentation for just this run and attaches
         the snapshot as ``result.metrics`` (see docs/OBSERVABILITY.md).
         """
@@ -126,13 +134,15 @@ class Q2Chemistry:
                  measurement=measurement, optimizer=optimizer,
                  tolerance=tolerance, max_iterations=max_iterations,
                  grad=grad, parallel=parallel, n_workers=n_workers,
-                 tune=tune, calibration_cache=calibration_cache) as vqe:
+                 tune=tune, calibration_cache=calibration_cache,
+                 checkpoint_path=checkpoint_path,
+                 checkpoint_every=checkpoint_every, resume=resume) as vqe:
             if observe:
                 from repro import obs
 
                 with obs.collect():
-                    return vqe.run(initial_parameters)
-            return vqe.run(initial_parameters)
+                    return vqe.run(initial_parameters, seed)
+            return vqe.run(initial_parameters, seed)
 
     # -- DMET ------------------------------------------------------------------------
 

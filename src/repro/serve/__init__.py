@@ -1,0 +1,55 @@
+"""``repro.serve`` - the in-process multi-tenant job service.
+
+The layer a long-running deployment needs on top of the numerical stack:
+
+* :mod:`repro.serve.service` - :class:`JobService`, the async job queue
+  (submit / status / result) with a single scheduler thread that batches
+  compatible requests (same molecule/backend/measurement) back-to-back;
+* :mod:`repro.serve.jobs` - :class:`JobSpec` / :class:`JobRecord`, the
+  request vocabulary and its content-address projections;
+* :mod:`repro.serve.cache` - :class:`ServeCache`, the content-addressed
+  size-bounded LRU tier the module-level artifact caches (compiled
+  observables, sweep plans, MPOs, routing plans) promote into for the
+  lifetime of the service;
+* :mod:`repro.serve.checkpoint` - bitwise-reproducible optimizer
+  checkpoints (schema ``repro.ckpt/1``) behind the VQE
+  ``checkpoint_path`` / ``resume`` knobs.
+
+The CLI front end is ``python -m repro serve --requests FILE`` (see
+docs/SERVING.md).  Everything the service returns is bitwise identical
+to the equivalent direct :mod:`repro.q2chem` call - caching and batching
+change where artifacts live and when jobs run, never what is computed.
+"""
+
+from __future__ import annotations
+
+from repro.serve.cache import (
+    DEFAULT_MAX_BYTES,
+    ServeCache,
+    demote_module_caches,
+    promote_module_caches,
+    sizeof,
+)
+from repro.serve.checkpoint import (
+    CKPT_SCHEMA,
+    CheckpointWriter,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.serve.jobs import JobRecord, JobSpec
+from repro.serve.service import JobService
+
+__all__ = [
+    "CKPT_SCHEMA",
+    "CheckpointWriter",
+    "DEFAULT_MAX_BYTES",
+    "JobRecord",
+    "JobService",
+    "JobSpec",
+    "ServeCache",
+    "demote_module_caches",
+    "load_checkpoint",
+    "promote_module_caches",
+    "save_checkpoint",
+    "sizeof",
+]

@@ -1,0 +1,298 @@
+"""The cross-request cache tier: one content-addressed, size-bounded store.
+
+PRs 1-8 left expensive artifacts behind *module-level* caches, each with
+its own entry-count bound: compiled observables
+(:mod:`repro.simulators.pauli_kernels`), sweep plans and compressed MPOs
+(:mod:`repro.simulators.mps_measure`) and swap-routing plans
+(:mod:`repro.simulators.mps`).  Those bounds are entry counts, invisible
+to each other, and reset with every process - fine for one optimization,
+wrong for a long-running service where many tenants share one memory
+budget.
+
+:class:`ServeCache` promotes them into a single shared store:
+
+* **content-addressed** - every entry is keyed by ``(namespace, key)``
+  where ``key`` is the producer's existing content hash (the same
+  ``observable_cache_key`` tuples the module caches already use), so
+  identical requests from different tenants land on one entry;
+* **size-bounded** - one byte budget across all namespaces, enforced by
+  least-recently-used eviction (:func:`sizeof` estimates entry payloads
+  by walking numpy buffers);
+* **observable** - ``serve.cache.{hits,misses,evictions}`` counters
+  (labelled by namespace) and the ``serve.cache.bytes`` gauge ride the
+  standard :mod:`repro.obs` registry, while an always-on internal tally
+  (:meth:`ServeCache.stats`) survives the per-request
+  ``obs.collect()`` resets the job service performs.
+
+Promotion is reversible: :func:`promote_module_caches` installs the
+store behind the producer modules' ``set_shared_cache`` hooks (their
+bounded-dict behaviour is untouched when no store is installed), and
+:func:`demote_module_caches` restores the default.  Promotion never
+changes *what* is computed - only where the memoized artifact lives - so
+served energies stay bitwise identical to direct library calls.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.obs import metrics as _obs
+
+# observability instruments (no-ops unless `repro.obs` is enabled)
+_M_HITS = _obs.counter(
+    "serve.cache.hits", "cross-request cache hits, labelled by namespace")
+_M_MISSES = _obs.counter(
+    "serve.cache.misses", "cross-request cache misses, labelled by namespace")
+_M_EVICTIONS = _obs.counter(
+    "serve.cache.evictions",
+    "LRU evictions from the cross-request cache, labelled by namespace")
+_M_BYTES = _obs.gauge(
+    "serve.cache.bytes", "bytes held by the cross-request cache", unit="By")
+
+#: default byte budget of a service cache (256 MiB)
+DEFAULT_MAX_BYTES = 256 << 20
+
+#: overhead charged per entry on top of the payload estimate (dict slots,
+#: key tuples, bookkeeping) so zero-byte payloads still consume budget
+ENTRY_OVERHEAD = 256
+
+
+def sizeof(obj, _seen: set | None = None) -> int:
+    """Recursive byte estimate of a cached artifact.
+
+    Walks numpy arrays (``nbytes``), containers and plain-attribute
+    objects; shared buffers are counted once per entry (an ``id`` guard
+    breaks cycles).  This is an *estimate* for budget enforcement, not an
+    exact allocator audit - the cached artifacts are dominated by their
+    numpy payloads, which are counted exactly.
+    """
+    if _seen is None:
+        _seen = set()
+    oid = id(obj)
+    if oid in _seen:
+        return 0
+    if isinstance(obj, np.ndarray):
+        _seen.add(oid)
+        return int(obj.nbytes) + 128
+    if isinstance(obj, (int, float, complex, bool)) or obj is None:
+        return 32
+    if isinstance(obj, (str, bytes)):
+        return sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        _seen.add(oid)
+        return sys.getsizeof(obj) + sum(
+            sizeof(k, _seen) + sizeof(v, _seen) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        _seen.add(oid)
+        return sys.getsizeof(obj) + sum(sizeof(item, _seen) for item in obj)
+    slots = getattr(obj, "__slots__", None)
+    if slots is not None:
+        _seen.add(oid)
+        return 64 + sum(
+            sizeof(getattr(obj, name, None), _seen)
+            for name in slots if isinstance(name, str))
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        _seen.add(oid)
+        return 64 + sizeof(attrs, _seen)
+    return sys.getsizeof(obj)
+
+
+class ServeCache:
+    """Content-addressed LRU store shared across requests and namespaces.
+
+    Parameters
+    ----------
+    max_bytes:
+        Total byte budget across every namespace.  Inserting beyond it
+        evicts least-recently-used entries (any namespace) until the new
+        entry fits; an entry larger than the whole budget is simply not
+        stored (the build result is still returned to the caller).
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES):
+        if max_bytes <= 0:
+            raise ValidationError(
+                f"cache byte budget must be positive (got {max_bytes})")
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.RLock()
+        #: (namespace, key) -> [value, nbytes]; insertion/touch order = LRU
+        self._entries: "OrderedDict[tuple, list]" = OrderedDict()
+        self._bytes = 0
+        #: always-on tally (survives obs.collect() registry resets):
+        #: namespace -> {"hits": int, "misses": int, "evictions": int}
+        self._stats: dict[str, dict[str, int]] = {}
+
+    # -- core protocol --------------------------------------------------------
+
+    def _tally(self, namespace: str) -> dict[str, int]:
+        slot = self._stats.get(namespace)
+        if slot is None:
+            slot = {"hits": 0, "misses": 0, "evictions": 0}
+            self._stats[namespace] = slot
+        return slot
+
+    def lookup(self, namespace: str, key) -> tuple[object, bool]:
+        """``(value, True)`` on a hit, ``(None, False)`` on a miss.
+
+        A hit moves the entry to most-recently-used position.  Both
+        outcomes tick the namespace-labelled counters.
+        """
+        full = (namespace, key)
+        with self._lock:
+            entry = self._entries.get(full)
+            if entry is not None:
+                self._entries.move_to_end(full)
+                self._tally(namespace)["hits"] += 1
+                _M_HITS.inc(namespace=namespace)
+                return entry[0], True
+            self._tally(namespace)["misses"] += 1
+            _M_MISSES.inc(namespace=namespace)
+            return None, False
+
+    def peek(self, namespace: str, key) -> object | None:
+        """The cached value or None - no counters, no LRU touch.
+
+        For probe-style callers (the MPS auto dispatcher asking "is the
+        MPO already compiled?") whose module caches also answer such
+        peeks without counting them.
+        """
+        with self._lock:
+            entry = self._entries.get((namespace, key))
+            return None if entry is None else entry[0]
+
+    def insert(self, namespace: str, key, value, *,
+               nbytes: int | None = None) -> bool:
+        """Store ``value``; returns False when it exceeds the whole budget.
+
+        ``nbytes`` overrides the :func:`sizeof` estimate (producers that
+        know their payload exactly can pass it).  Re-inserting an
+        existing key replaces the entry (budget adjusted).
+        """
+        size = (sizeof(value) if nbytes is None else int(nbytes)) \
+            + ENTRY_OVERHEAD
+        full = (namespace, key)
+        with self._lock:
+            if size > self.max_bytes:
+                return False
+            old = self._entries.pop(full, None)
+            if old is not None:
+                self._bytes -= old[1]
+            while self._bytes + size > self.max_bytes:
+                (ev_ns, _), (_, ev_size) = self._entries.popitem(last=False)
+                self._bytes -= ev_size
+                self._tally(ev_ns)["evictions"] += 1
+                _M_EVICTIONS.inc(namespace=ev_ns)
+            self._entries[full] = [value, size]
+            self._bytes += size
+            _M_BYTES.set(self._bytes)
+            return True
+
+    def get_or_build(self, namespace: str, key,
+                     build: Callable[[], object]) -> object:
+        """Return the cached value, building (and caching) it on a miss."""
+        value, found = self.lookup(namespace, key)
+        if found:
+            return value
+        value = build()
+        self.insert(namespace, key, value)
+        return value
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Current byte footprint (payload estimates + entry overhead)."""
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[tuple]:
+        """``(namespace, key)`` pairs in LRU order (oldest first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict:
+        """Always-on tally: per-namespace hits/misses/evictions + totals.
+
+        Unlike the ``serve.cache.*`` obs counters this tally is never
+        reset by ``obs.collect()`` scopes, so the service can report
+        lifetime hit rates no matter how per-request metrics are scoped.
+        """
+        with self._lock:
+            per_ns = {ns: dict(t) for ns, t in sorted(self._stats.items())}
+            totals = {"hits": 0, "misses": 0, "evictions": 0}
+            for tally in per_ns.values():
+                for field in totals:
+                    totals[field] += tally[field]
+            lookups = totals["hits"] + totals["misses"]
+            return {
+                "namespaces": per_ns,
+                "totals": totals,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hit_rate": (totals["hits"] / lookups) if lookups else 0.0,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry (the tally is kept - it is a lifetime record)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            _M_BYTES.set(0)
+
+
+# -- promotion of the module-level caches -------------------------------------
+
+#: producer modules exposing a ``set_shared_cache(store)`` hook; promotion
+#: namespaces are chosen by the producers themselves (see their modules)
+_PRODUCERS = (
+    "repro.simulators.pauli_kernels",
+    "repro.simulators.mps_measure",
+    "repro.simulators.mps",
+)
+
+
+def promote_module_caches(store: ServeCache) -> None:
+    """Route the content-keyed module caches through ``store``.
+
+    After promotion, :func:`repro.simulators.pauli_kernels.compile_observable`,
+    :func:`repro.simulators.mps_measure.sweep_plan` /
+    :func:`~repro.simulators.mps_measure.compiled_mpo` and
+    :func:`repro.simulators.mps.routing_plan` consult the shared store
+    instead of their bounded module dicts.  Their own hit/miss counters
+    keep ticking; the shared store adds the ``serve.cache.*`` layer and
+    the one cross-namespace byte budget.
+    """
+    import importlib
+
+    for name in _PRODUCERS:
+        importlib.import_module(name).set_shared_cache(store)
+
+
+def demote_module_caches() -> None:
+    """Restore the default bounded module-dict caches."""
+    import importlib
+
+    for name in _PRODUCERS:
+        importlib.import_module(name).set_shared_cache(None)
+
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "ENTRY_OVERHEAD",
+    "ServeCache",
+    "demote_module_caches",
+    "promote_module_caches",
+    "sizeof",
+]

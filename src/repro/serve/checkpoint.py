@@ -1,0 +1,223 @@
+"""Job checkpoint/resume: bitwise-reproducible optimizer snapshots.
+
+Long VQE optimizations are the jobs a multi-tenant service cannot afford
+to lose to a restart.  This module serializes the *complete* optimizer
+state - the parameter vector, the optimizer's internal moments, the
+energy history, the RNG state for stochastic optimizers - after every
+iteration, so a killed job resumes to a **bitwise-identical trajectory**:
+the resumed run's final energy, parameters and iteration count equal the
+uninterrupted run's exactly (the contract the fault-injection suite in
+``tests/serve`` pins on both the statevector and MPS backends).
+
+Document format (schema ``repro.ckpt/1``)::
+
+    {
+      "schema": "repro.ckpt/1",
+      "optimizer": "adam",
+      "iteration": 17,
+      "payload": { ... optimizer state, ndarrays base64-encoded ... },
+      "checksum": "sha256 hex of the canonical payload JSON"
+    }
+
+Arrays are encoded as ``{"__ndarray__": <base64 of tobytes()>, "dtype",
+"shape"}`` - byte-exact, no float/JSON round-trip ambiguity.  RNG state
+(numpy bit-generator state dicts) serializes as plain JSON.  Writes are
+atomic (tmp + ``os.replace``), so a crash mid-write leaves the previous
+checkpoint intact; loads verify the checksum and schema and raise a
+structured :class:`repro.common.errors.CheckpointError` on any damage -
+**never** a silent fresh start.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import CheckpointError
+from repro.obs import metrics as _obs
+
+#: schema tag of the checkpoint document
+CKPT_SCHEMA = "repro.ckpt/1"
+
+# observability instruments (no-ops unless `repro.obs` is enabled)
+_M_WRITES = _obs.counter(
+    "serve.checkpoint.writes", "checkpoint documents written")
+_M_LOADS = _obs.counter(
+    "serve.checkpoint.loads", "checkpoint documents loaded for resume")
+_M_ERRORS = _obs.counter(
+    "serve.checkpoint.errors",
+    "checkpoint loads rejected, labelled by failure reason")
+
+
+def _encode(obj):
+    """JSON-ready deep copy; ndarrays become byte-exact base64 blobs."""
+    if isinstance(obj, np.ndarray):
+        return {
+            "__ndarray__": base64.b64encode(
+                np.ascontiguousarray(obj).tobytes()).decode("ascii"),
+            "dtype": str(obj.dtype),
+            "shape": list(obj.shape),
+        }
+    if isinstance(obj, np.generic):
+        return _encode(np.asarray(obj))
+    if isinstance(obj, dict):
+        return {str(k): _encode(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode(v) for v in obj]
+    if isinstance(obj, (str, bool)) or obj is None:
+        return obj
+    if isinstance(obj, (int, float)):
+        return obj
+    raise CheckpointError(
+        f"cannot serialize {type(obj).__name__!r} into a checkpoint",
+        reason="schema")
+
+
+def _decode(obj):
+    """Inverse of :func:`_encode`."""
+    if isinstance(obj, dict):
+        if "__ndarray__" in obj:
+            raw = base64.b64decode(obj["__ndarray__"])
+            arr = np.frombuffer(raw, dtype=np.dtype(obj["dtype"]))
+            return arr.reshape(obj["shape"]).copy()
+        return {k: _decode(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_decode(v) for v in obj]
+    return obj
+
+
+def _payload_checksum(payload: dict) -> str:
+    """sha256 over the canonical (sorted-key, compact) payload JSON."""
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()
+
+
+def save_checkpoint(path: str | Path, *, optimizer: str, iteration: int,
+                    state: dict) -> Path:
+    """Atomically write one checkpoint document; returns the path.
+
+    ``state`` is the optimizer's own snapshot dict (arrays allowed at any
+    nesting depth).  The write goes to ``<path>.tmp`` first and is
+    renamed into place, so readers never observe a torn document.
+    """
+    path = Path(path)
+    payload = _encode(state)
+    doc = {
+        "schema": CKPT_SCHEMA,
+        "optimizer": str(optimizer),
+        "iteration": int(iteration),
+        "payload": payload,
+        "checksum": _payload_checksum(payload),
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=2) + "\n")
+    os.replace(tmp, path)
+    _M_WRITES.inc()
+    return path
+
+
+def load_checkpoint(path: str | Path, *,
+                    expect_optimizer: str | None = None) -> dict:
+    """Load and verify one checkpoint; raises :class:`CheckpointError`.
+
+    Returns ``{"optimizer", "iteration", "state"}`` with arrays decoded.
+    Any damage - missing file, truncated/unparseable JSON, checksum
+    mismatch, unknown schema, or (when ``expect_optimizer`` is given) an
+    optimizer mismatch - raises a structured error carrying the path and
+    a machine-readable ``reason``; resuming never silently restarts.
+    """
+    path = Path(path)
+    if not path.exists():
+        _M_ERRORS.inc(reason="missing")
+        raise CheckpointError(f"checkpoint {path} does not exist",
+                              path=str(path), reason="missing")
+    text = path.read_text()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        reason = "truncated" if not text.rstrip().endswith("}") else "corrupt"
+        _M_ERRORS.inc(reason=reason)
+        raise CheckpointError(
+            f"checkpoint {path} is not valid JSON ({exc})",
+            path=str(path), reason=reason) from exc
+    if not isinstance(doc, dict) or doc.get("schema") != CKPT_SCHEMA:
+        _M_ERRORS.inc(reason="schema")
+        raise CheckpointError(
+            f"checkpoint {path} has unknown schema "
+            f"{doc.get('schema') if isinstance(doc, dict) else None!r}; "
+            f"expected {CKPT_SCHEMA!r}",
+            path=str(path), reason="schema")
+    for field in ("optimizer", "iteration", "payload", "checksum"):
+        if field not in doc:
+            _M_ERRORS.inc(reason="truncated")
+            raise CheckpointError(
+                f"checkpoint {path} is missing field {field!r}",
+                path=str(path), reason="truncated")
+    if _payload_checksum(doc["payload"]) != doc["checksum"]:
+        _M_ERRORS.inc(reason="checksum")
+        raise CheckpointError(
+            f"checkpoint {path} failed its checksum - refusing to resume "
+            f"from a corrupt state",
+            path=str(path), reason="checksum")
+    if expect_optimizer is not None and doc["optimizer"] != expect_optimizer:
+        _M_ERRORS.inc(reason="mismatch")
+        raise CheckpointError(
+            f"checkpoint {path} was written by optimizer "
+            f"{doc['optimizer']!r}, not {expect_optimizer!r}",
+            path=str(path), reason="mismatch")
+    _M_LOADS.inc()
+    return {
+        "optimizer": doc["optimizer"],
+        "iteration": int(doc["iteration"]),
+        "state": _decode(doc["payload"]),
+    }
+
+
+class CheckpointWriter:
+    """Per-iteration checkpoint sink handed to the optimizers.
+
+    Callable as ``writer(state_dict)``; writes every ``every``-th
+    iteration (and always remembers the latest state so :meth:`flush`
+    can persist it after an interruption).  The optimizer's state dict
+    must carry an ``"iteration"`` key.
+    """
+
+    def __init__(self, path: str | Path, *, optimizer: str, every: int = 1):
+        if every < 1:
+            raise CheckpointError(
+                f"checkpoint interval must be >= 1 (got {every})",
+                reason="schema")
+        self.path = Path(path)
+        self.optimizer = str(optimizer)
+        self.every = int(every)
+        self.writes = 0
+        self._latest: dict | None = None
+
+    def __call__(self, state: dict) -> None:
+        self._latest = state
+        iteration = int(state["iteration"])
+        if iteration % self.every == 0:
+            self.flush()
+
+    def flush(self) -> Path | None:
+        """Persist the most recent state (no-op before any iteration)."""
+        if self._latest is None:
+            return None
+        self.writes += 1
+        return save_checkpoint(self.path, optimizer=self.optimizer,
+                               iteration=int(self._latest["iteration"]),
+                               state=self._latest)
+
+
+__all__ = [
+    "CKPT_SCHEMA",
+    "CheckpointWriter",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -566,6 +566,29 @@ class RoutingPlan:
 _ROUTING_CACHE: "OrderedDict[tuple[int, int], RoutingPlan]" = OrderedDict()
 _ROUTING_CACHE_MAX = 1024
 
+#: promoted cross-request store (see repro.serve.cache); routing plans
+#: live there under this namespace when a job service has promoted the
+#: module caches into its shared tier
+_ROUTING_NAMESPACE = "mps.routing"
+_SHARED_CACHE = None
+
+
+def set_shared_cache(store) -> None:
+    """Install (or with ``None`` remove) a promoted cross-request store."""
+    global _SHARED_CACHE
+    _SHARED_CACHE = store
+
+
+def _derive_routing_plan(q1: int, q2: int) -> RoutingPlan:
+    """Derive the swap schedule for one (q1, q2) pair (uncached)."""
+    if q1 < q2:
+        swaps_in = tuple(range(q1, q2 - 1))
+        return RoutingPlan(swaps_in=swaps_in, gate_site=q2 - 1,
+                           permute=False, swaps_out=swaps_in[::-1])
+    swaps_in = tuple(range(q1 - 1, q2, -1))
+    return RoutingPlan(swaps_in=swaps_in, gate_site=q2,
+                       permute=True, swaps_out=swaps_in[::-1])
+
 
 def routing_plan(q1: int, q2: int) -> RoutingPlan:
     """The memoized swap schedule routing a (q1, q2) gate onto the chain.
@@ -578,6 +601,18 @@ def routing_plan(q1: int, q2: int) -> RoutingPlan:
     evictions are exported as ``mps.routing_plan.*`` counters.
     """
     key = (q1, q2)
+    shared = _SHARED_CACHE
+    if shared is not None:
+        hit, found = shared.lookup(_ROUTING_NAMESPACE, key)
+        if found:
+            _M_ROUTE_HITS.inc()
+            return hit
+        if q1 == q2:
+            raise ValidationError("two-qubit gate needs distinct qubits")
+        _M_ROUTE_MISSES.inc()
+        plan = _derive_routing_plan(q1, q2)
+        shared.insert(_ROUTING_NAMESPACE, key, plan)
+        return plan
     hit = _ROUTING_CACHE.get(key)
     if hit is not None:
         _ROUTING_CACHE.move_to_end(key)
@@ -586,14 +621,7 @@ def routing_plan(q1: int, q2: int) -> RoutingPlan:
     if q1 == q2:
         raise ValidationError("two-qubit gate needs distinct qubits")
     _M_ROUTE_MISSES.inc()
-    if q1 < q2:
-        swaps_in = tuple(range(q1, q2 - 1))
-        plan = RoutingPlan(swaps_in=swaps_in, gate_site=q2 - 1,
-                           permute=False, swaps_out=swaps_in[::-1])
-    else:
-        swaps_in = tuple(range(q1 - 1, q2, -1))
-        plan = RoutingPlan(swaps_in=swaps_in, gate_site=q2,
-                           permute=True, swaps_out=swaps_in[::-1])
+    plan = _derive_routing_plan(q1, q2)
     if len(_ROUTING_CACHE) >= _ROUTING_CACHE_MAX:
         _ROUTING_CACHE.popitem(last=False)
         _M_ROUTE_EVICTIONS.inc()

@@ -337,6 +337,19 @@ _PLAN_CACHE_MAX = 64
 _MPO_CACHE: dict[tuple, object] = {}
 _MPO_CACHE_MAX = 16
 
+#: promoted cross-request store (see repro.serve.cache); when installed,
+#: plans and MPOs live there under these namespaces instead of the
+#: bounded module dicts above
+_PLAN_NAMESPACE = "mps.sweep_plan"
+_MPO_NAMESPACE = "mps.mpo"
+_SHARED_CACHE = None
+
+
+def set_shared_cache(store) -> None:
+    """Install (or with ``None`` remove) a promoted cross-request store."""
+    global _SHARED_CACHE
+    _SHARED_CACHE = store
+
 
 def sweep_plan(op: QubitOperator, n_qubits: int,
                _key: tuple | None = None) -> SweepPlan:
@@ -348,6 +361,16 @@ def sweep_plan(op: QubitOperator, n_qubits: int,
     per-call cost on sub-millisecond evaluations.
     """
     key = observable_cache_key(op, n_qubits) if _key is None else _key
+    shared = _SHARED_CACHE
+    if shared is not None:
+        hit, found = shared.lookup(_PLAN_NAMESPACE, key)
+        if found:
+            _M_PLAN_CACHE.inc(outcome="hit")
+            return hit
+        _M_PLAN_CACHE.inc(outcome="miss")
+        hit = build_sweep_plan(op, n_qubits)
+        shared.insert(_PLAN_NAMESPACE, key, hit)
+        return hit
     hit = _PLAN_CACHE.get(key)
     if hit is None:
         _M_PLAN_CACHE.inc(outcome="miss")
@@ -369,6 +392,16 @@ def compiled_mpo(op: QubitOperator, n_qubits: int,
     from repro.simulators.mpo import MPO
 
     key = observable_cache_key(op, n_qubits) if _key is None else _key
+    shared = _SHARED_CACHE
+    if shared is not None:
+        hit, found = shared.lookup(_MPO_NAMESPACE, key)
+        if found:
+            _M_MPO_CACHE.inc(outcome="hit")
+            return hit
+        _M_MPO_CACHE.inc(outcome="miss")
+        hit = MPO.from_qubit_operator(op, n_qubits)
+        shared.insert(_MPO_NAMESPACE, key, hit)
+        return hit
     hit = _MPO_CACHE.get(key)
     if hit is None:
         _M_MPO_CACHE.inc(outcome="miss")
@@ -762,7 +795,9 @@ class MPSMeasurementEngine:
         if not plan.term_keys:
             return float(plan.constant.real)
         d = mps.max_bond()
-        mpo = _MPO_CACHE.get(key)
+        shared = _SHARED_CACHE
+        mpo = (shared.peek(_MPO_NAMESPACE, key) if shared is not None
+               else _MPO_CACHE.get(key))
         if (mpo is None and n >= 2
                 and _MPO_MIN_TERMS <= plan.n_terms <= _MPO_MAX_TERMS):
             mpo = compiled_mpo(op, n, _key=key)
@@ -786,5 +821,6 @@ __all__ = [
     "compiled_mpo",
     "configure_level3",
     "level3_config",
+    "set_shared_cache",
     "sweep_plan",
 ]

@@ -203,6 +203,18 @@ class CompiledObservable:
 _CACHE: dict[tuple, CompiledObservable] = {}
 _CACHE_MAX = 64
 
+#: when a cross-request store is promoted over this module cache (see
+#: :func:`repro.serve.cache.promote_module_caches`), compiled observables
+#: live there under this namespace instead of the bounded dict above
+_SHARED_NAMESPACE = "pauli.observable"
+_SHARED_CACHE = None
+
+
+def set_shared_cache(store) -> None:
+    """Install (or with ``None`` remove) a promoted cross-request store."""
+    global _SHARED_CACHE
+    _SHARED_CACHE = store
+
 
 def observable_cache_key(op: QubitOperator, n_qubits: int) -> tuple:
     """Content hash of (operator, register width) for the compile cache."""
@@ -217,6 +229,16 @@ def compile_observable(op: QubitOperator,
     """Compile (or fetch a cached) :class:`CompiledObservable`."""
     n = max(op.n_qubits(), 1) if n_qubits is None else int(n_qubits)
     key = observable_cache_key(op, n)
+    shared = _SHARED_CACHE
+    if shared is not None:
+        hit, found = shared.lookup(_SHARED_NAMESPACE, key)
+        if found:
+            _M_COMPILE_CACHE.inc(outcome="hit")
+            return hit
+        _M_COMPILE_CACHE.inc(outcome="miss")
+        hit = CompiledObservable(op, n)
+        shared.insert(_SHARED_NAMESPACE, key, hit)
+        return hit
     hit = _CACHE.get(key)
     if hit is None:
         _M_COMPILE_CACHE.inc(outcome="miss")
@@ -241,6 +263,7 @@ __all__ = [
     "compile_observable",
     "clear_observable_cache",
     "observable_cache_key",
+    "set_shared_cache",
     "phase_vector",
     "term_masks",
 ]

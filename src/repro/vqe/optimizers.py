@@ -99,8 +99,17 @@ def minimize_spsa(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
                   max_iterations: int = 300, a: float = 0.1, c: float = 0.1,
                   alpha: float = 0.602, gamma: float = 0.101,
                   seed: int | None = None,
-                  tolerance: float = 0.0) -> OptimizationResult:
-    """SPSA with the standard gain sequences a_k = a/(k+1)^alpha etc."""
+                  tolerance: float = 0.0,
+                  checkpoint: Callable[[dict], None] | None = None,
+                  resume_state: dict | None = None) -> OptimizationResult:
+    """SPSA with the standard gain sequences a_k = a/(k+1)^alpha etc.
+
+    ``checkpoint`` (if given) is called after every iteration with the
+    complete optimizer state - including the PCG64 bit-generator state,
+    so the stochastic perturbation stream survives a restart;
+    ``resume_state`` restores such a snapshot and continues the exact
+    trajectory the uninterrupted run would have taken (bitwise).
+    """
     rng = default_rng(seed)
     x = np.asarray(x0, dtype=float).copy()
     if x.ndim != 1:
@@ -108,7 +117,16 @@ def minimize_spsa(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
     history: list[float] = []
     evals = 0
     best_x, best_f = x.copy(), np.inf
-    for k in range(max_iterations):
+    start_k = 0
+    if resume_state is not None:
+        x = np.asarray(resume_state["x"], dtype=float).copy()
+        best_x = np.asarray(resume_state["best_x"], dtype=float).copy()
+        best_f = float(resume_state["best_f"])
+        history = [float(v) for v in resume_state["history"]]
+        evals = int(resume_state["n_evaluations"])
+        start_k = int(resume_state["iteration"])
+        rng.bit_generator.state = resume_state["rng_state"]
+    for k in range(start_k, max_iterations):
         ak = a / (k + 1) ** alpha
         ck = c / (k + 1) ** gamma
         delta = rng.choice([-1.0, 1.0], size=x.size)
@@ -121,6 +139,13 @@ def minimize_spsa(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
         history.append(cur)
         if cur < best_f:
             best_f, best_x = cur, x.copy()
+        if checkpoint is not None:
+            checkpoint({
+                "iteration": k + 1, "x": x, "best_x": best_x,
+                "best_f": best_f, "history": list(history),
+                "n_evaluations": evals,
+                "rng_state": rng.bit_generator.state,
+            })
         if tolerance > 0.0 and k > 10:
             recent = history[-5:]
             if max(recent) - min(recent) < tolerance:
@@ -139,8 +164,9 @@ def minimize_adam(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
                   beta1: float = 0.9, beta2: float = 0.999,
                   eps: float = 1e-8, fd_step: float = 1e-4,
                   tolerance: float = 1e-8,
-                  gradient: Callable[[np.ndarray], np.ndarray] | None = None
-                  ) -> OptimizationResult:
+                  gradient: Callable[[np.ndarray], np.ndarray] | None = None,
+                  checkpoint: Callable[[dict], None] | None = None,
+                  resume_state: dict | None = None) -> OptimizationResult:
     """Adam on an injected gradient callable.
 
     ``gradient(theta) -> ndarray`` may come from any source
@@ -149,6 +175,13 @@ def minimize_adam(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
     counted in ``n_evaluations``).  The update sequence is a pure function
     of the gradient values, so value-identical sources yield bitwise
     identical trajectories.
+
+    ``checkpoint`` (if given) is called after every completed iteration
+    with the full optimizer state (theta, first/second moments, energy
+    history, evaluation count); ``resume_state`` restores such a snapshot
+    and continues at the next iteration, reproducing the uninterrupted
+    trajectory bitwise (the moments and theta round-trip byte-exactly
+    through :mod:`repro.serve.checkpoint`).
     """
     x = np.asarray(x0, dtype=float).copy()
     m = np.zeros_like(x)
@@ -166,7 +199,16 @@ def minimize_adam(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
                 counted[0] += 2
             return g
     prev = np.inf
-    for k in range(1, max_iterations + 1):
+    start_k = 1
+    if resume_state is not None:
+        x = np.asarray(resume_state["x"], dtype=float).copy()
+        m = np.asarray(resume_state["m"], dtype=float).copy()
+        v = np.asarray(resume_state["v"], dtype=float).copy()
+        history = [float(val) for val in resume_state["history"]]
+        evals = int(resume_state["n_evaluations"])
+        prev = float(resume_state["prev"])
+        start_k = int(resume_state["iteration"]) + 1
+    for k in range(start_k, max_iterations + 1):
         g = np.asarray(gradient(x), dtype=float)
         evals += counted[0]
         counted[0] = 0
@@ -185,6 +227,11 @@ def minimize_adam(f: Callable[[np.ndarray], float], x0: np.ndarray, *,
                 message="converged on energy change",
             )
         prev = cur
+        if checkpoint is not None:
+            checkpoint({
+                "iteration": k, "x": x, "m": m, "v": v, "prev": prev,
+                "history": list(history), "n_evaluations": evals,
+            })
     return OptimizationResult(
         x=x, fun=float(history[-1]), n_evaluations=evals,
         n_iterations=max_iterations, converged=False, history=history,

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.backends import backend_spec
-from repro.common.errors import ValidationError
+from repro.common.errors import CheckpointError, ValidationError
 from repro.circuits.circuit import Circuit
 from repro.circuits.uccsd import UCCSDAnsatz
 from repro.obs import metrics as _obs
@@ -90,10 +90,23 @@ class VQE:
         ("off" | "static" | "auto") and its on-disk calibration cache
         directory.  Requires a backend declaring ``tunable`` on its
         :class:`repro.backends.BackendSpec` (the MPS backend).
+    checkpoint_path / checkpoint_every / resume:
+        Per-iteration optimizer snapshots (:mod:`repro.serve.checkpoint`,
+        schema ``repro.ckpt/1``).  Only the iteration-structured
+        optimizers (:data:`CHECKPOINT_OPTIMIZERS`) can checkpoint - the
+        scipy bridges hide their loop state.  With ``resume=True`` an
+        existing checkpoint is restored and the run continues to a
+        trajectory bitwise identical to the uninterrupted one; a missing
+        checkpoint file starts fresh, but a damaged one raises
+        :class:`repro.common.errors.CheckpointError` (never a silent
+        restart).
     """
 
     #: optimizers able to consume an injected gradient callable
     GRADIENT_OPTIMIZERS = ("adam", "l-bfgs-b", "bfgs", "slsqp")
+
+    #: optimizers whose loop state can be checkpointed and resumed
+    CHECKPOINT_OPTIMIZERS = ("adam", "spsa")
 
     def __init__(self, hamiltonian: QubitOperator,
                  ansatz: Circuit | UCCSDAnsatz, *,
@@ -104,7 +117,9 @@ class VQE:
                  max_iterations: int = 2000, grad: str | None = None,
                  parallel: str | None = None,
                  n_workers: int | None = None, tune: str | None = None,
-                 calibration_cache: str | None = None):
+                 calibration_cache: str | None = None,
+                 checkpoint_path: str | None = None,
+                 checkpoint_every: int = 1, resume: bool = False):
         self.uccsd = ansatz if isinstance(ansatz, UCCSDAnsatz) else None
         spec = backend_spec(simulator)
         if spec.kind == "ansatz":
@@ -147,6 +162,20 @@ class VQE:
         self.optimizer = optimizer.lower()
         self.tolerance = tolerance
         self.max_iterations = max_iterations
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = int(checkpoint_every)
+        self.resume = bool(resume)
+        if checkpoint_path is not None and \
+                self.optimizer not in self.CHECKPOINT_OPTIMIZERS:
+            raise ValidationError(
+                f"optimizer {self.optimizer!r} cannot checkpoint (scipy "
+                f"bridges hide their loop state); checkpoint_path applies "
+                f"to {self.CHECKPOINT_OPTIMIZERS}"
+            )
+        if self.resume and checkpoint_path is None:
+            raise ValidationError(
+                "resume=True requires checkpoint_path"
+            )
         self.grad = None if grad is None else \
             str(grad).lower().replace("-", "_")
         if self.grad is not None:
@@ -218,14 +247,38 @@ class VQE:
                                   tolerance=self.tolerance,
                                   max_iterations=self.max_iterations,
                                   gradient=gradient)
+        checkpoint, resume_state = self._checkpoint_hooks()
         if self.optimizer == "spsa":
             return minimize_spsa(f, x0, max_iterations=self.max_iterations,
-                                 seed=seed)
+                                 seed=seed, checkpoint=checkpoint,
+                                 resume_state=resume_state)
         if self.optimizer == "adam":
             return minimize_adam(f, x0, max_iterations=self.max_iterations,
                                  tolerance=self.tolerance,
-                                 gradient=gradient)
+                                 gradient=gradient, checkpoint=checkpoint,
+                                 resume_state=resume_state)
         raise ValidationError(f"unknown optimizer {self.optimizer!r}")
+
+    def _checkpoint_hooks(self):
+        """(checkpoint sink, resume state) for the iteration optimizers."""
+        if self.checkpoint_path is None:
+            return None, None
+        from repro.serve.checkpoint import CheckpointWriter, load_checkpoint
+
+        resume_state = None
+        if self.resume:
+            try:
+                doc = load_checkpoint(self.checkpoint_path,
+                                      expect_optimizer=self.optimizer)
+            except CheckpointError as exc:
+                if exc.reason != "missing":
+                    raise  # damaged checkpoints must surface, not restart
+            else:
+                resume_state = doc["state"]
+        writer = CheckpointWriter(self.checkpoint_path,
+                                  optimizer=self.optimizer,
+                                  every=self.checkpoint_every)
+        return writer, resume_state
 
     def close(self) -> None:
         """Release evaluator resources (the parallel worker pool)."""

@@ -1,0 +1,224 @@
+"""Property tests for the cross-request cache tier.
+
+Seeded either through hypothesis or the fixed-seed fallback (same
+machinery as ``tests/properties``): key identity/perturbation, the byte
+bound under random insert streams, LRU eviction order, and the promotion
+hooks' bitwise-neutrality on the producer modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.serve.cache import (
+    ENTRY_OVERHEAD,
+    ServeCache,
+    demote_module_caches,
+    promote_module_caches,
+    sizeof,
+)
+
+from ..properties.support import given_seed, rng_for
+
+
+class TestKeyIdentity:
+    @given_seed()
+    def test_equal_content_hits_perturbed_content_misses(self, seed):
+        rng = rng_for(seed)
+        cache = ServeCache(max_bytes=1 << 20)
+        key = (int(rng.integers(0, 1000)),
+               tuple(int(v) for v in rng.integers(0, 4, size=5)),
+               float(rng.standard_normal()))
+        cache.insert("ns", key, "payload")
+        # an equal-by-value reconstruction of the key hits
+        clone = (key[0], tuple(key[1]), key[2])
+        value, found = cache.lookup("ns", clone)
+        assert found and value == "payload"
+        # perturbing any component misses
+        perturbed = [
+            (key[0] + 1, key[1], key[2]),
+            (key[0], key[1] + (9,), key[2]),
+            (key[0], key[1], key[2] + 1.0),
+        ]
+        for bad in perturbed:
+            _, found = cache.lookup("ns", bad)
+            assert not found
+        # same key under another namespace is a distinct entry
+        _, found = cache.lookup("other", key)
+        assert not found
+
+    def test_namespaces_do_not_collide(self):
+        cache = ServeCache(max_bytes=1 << 20)
+        cache.insert("a", "k", 1)
+        cache.insert("b", "k", 2)
+        assert cache.lookup("a", "k")[0] == 1
+        assert cache.lookup("b", "k")[0] == 2
+        assert len(cache) == 2
+
+
+class TestByteBound:
+    @given_seed()
+    def test_byte_budget_is_never_exceeded(self, seed):
+        rng = rng_for(seed)
+        budget = 64 << 10
+        cache = ServeCache(max_bytes=budget)
+        inserted = 0
+        for i in range(60):
+            arr = np.ones(int(rng.integers(1, 2000)))
+            inserted += cache.insert("arrays", i, arr)
+            assert cache.nbytes <= budget
+        stats = cache.stats()
+        evicted = stats["totals"]["evictions"]
+        assert len(cache) == inserted - evicted
+        assert stats["bytes"] == cache.nbytes
+
+    @given_seed(max_examples=15)
+    def test_lru_evicts_oldest_unused_first(self, seed):
+        rng = rng_for(seed)
+        # each entry costs ~8k + overhead; budget fits 4 comfortably
+        entry = np.ones(1024)
+        per = sizeof(entry) + ENTRY_OVERHEAD
+        cache = ServeCache(max_bytes=4 * per + per // 2)
+        for i in range(4):
+            cache.insert("ns", i, np.ones(1024))
+        protect = int(rng.integers(0, 4))
+        cache.lookup("ns", protect)  # touch: most recently used now
+        cache.insert("ns", 99, np.ones(1024))  # forces one eviction
+        survivors = {key for _, key in cache.keys()}
+        assert protect in survivors
+        assert 99 in survivors
+        expected_victim = min(i for i in range(4) if i != protect)
+        assert expected_victim not in survivors
+
+    def test_oversize_entry_is_refused_not_cached(self):
+        cache = ServeCache(max_bytes=1024)
+        assert not cache.insert("ns", "big", np.ones(4096))
+        assert len(cache) == 0
+        # get_or_build still returns the built value
+        value = cache.get_or_build("ns", "big2", lambda: np.ones(4096))
+        assert value.shape == (4096,)
+        assert len(cache) == 0
+
+    def test_reinsert_replaces_and_rebalances_budget(self):
+        cache = ServeCache(max_bytes=1 << 20)
+        cache.insert("ns", "k", np.ones(1000))
+        first = cache.nbytes
+        cache.insert("ns", "k", np.ones(10))
+        assert len(cache) == 1
+        assert cache.nbytes < first
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            ServeCache(max_bytes=0)
+
+
+class TestStats:
+    @given_seed(max_examples=15)
+    def test_tally_matches_the_lookup_stream(self, seed):
+        rng = rng_for(seed)
+        cache = ServeCache(max_bytes=1 << 20)
+        hits = misses = 0
+        for _ in range(100):
+            key = int(rng.integers(0, 12))
+            _, found = cache.lookup("ns", key)
+            if found:
+                hits += 1
+            else:
+                misses += 1
+                cache.insert("ns", key, key)
+        stats = cache.stats()
+        assert stats["namespaces"]["ns"] == {
+            "hits": hits, "misses": misses, "evictions": 0}
+        assert stats["hit_rate"] == pytest.approx(hits / (hits + misses))
+
+    def test_peek_is_silent(self):
+        cache = ServeCache(max_bytes=1 << 20)
+        cache.insert("ns", "k", 42)
+        assert cache.peek("ns", "k") == 42
+        assert cache.peek("ns", "absent") is None
+        tally = cache.stats()["namespaces"].get("ns",
+                                               {"hits": 0, "misses": 0})
+        assert tally["hits"] == 0 and tally["misses"] == 0
+
+    def test_clear_drops_entries_keeps_lifetime_tally(self):
+        cache = ServeCache(max_bytes=1 << 20)
+        cache.insert("ns", "k", 42)
+        cache.lookup("ns", "k")
+        cache.clear()
+        assert len(cache) == 0 and cache.nbytes == 0
+        assert cache.stats()["namespaces"]["ns"]["hits"] == 1
+
+
+class TestSizeof:
+    def test_numpy_payloads_counted_exactly(self):
+        arr = np.zeros((16, 16), dtype=complex)
+        assert sizeof(arr) >= arr.nbytes
+        assert sizeof([arr, arr]) < 2 * arr.nbytes  # shared buffer, one count
+
+    def test_containers_and_objects_walk(self):
+        class Thing:
+            def __init__(self):
+                self.a = np.ones(100)
+                self.b = {"x": [1, 2, 3]}
+
+        assert sizeof(Thing()) > 800
+
+
+class TestPromotion:
+    def test_promotion_is_bitwise_neutral_for_compiled_observables(self):
+        from repro.operators.pauli import PauliTerm, QubitOperator
+        from repro.simulators.pauli_kernels import (
+            clear_observable_cache,
+            compile_observable,
+        )
+
+        op = QubitOperator.from_term(PauliTerm.from_label("ZZ"), 0.5) \
+            + QubitOperator.from_term(PauliTerm.from_label("XI"), 0.25)
+        rng = np.random.default_rng(5)
+        psi = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        psi /= np.linalg.norm(psi)
+        clear_observable_cache()
+        baseline = compile_observable(op, 2).expectation(psi)
+
+        cache = ServeCache(max_bytes=1 << 20)
+        promote_module_caches(cache)
+        try:
+            clear_observable_cache()
+            first = compile_observable(op, 2).expectation(psi)
+            second = compile_observable(op, 2).expectation(psi)
+        finally:
+            demote_module_caches()
+        assert first == baseline
+        assert second == baseline
+        tally = cache.stats()["namespaces"]["pauli.observable"]
+        assert tally == {"hits": 1, "misses": 1, "evictions": 0}
+
+    def test_demotion_restores_module_caches(self):
+        import repro.simulators.mps as mps_mod
+        import repro.simulators.mps_measure as measure_mod
+        import repro.simulators.pauli_kernels as kernels_mod
+
+        cache = ServeCache(max_bytes=1 << 20)
+        promote_module_caches(cache)
+        demote_module_caches()
+        for mod in (mps_mod, measure_mod, kernels_mod):
+            assert mod._SHARED_CACHE is None
+
+    def test_promoted_routing_plan_reproduces_module_path(self):
+        from repro.simulators.mps import routing_plan
+
+        routing_plan.cache_clear()
+        baseline = routing_plan(1, 6)
+        cache = ServeCache(max_bytes=1 << 20)
+        promote_module_caches(cache)
+        try:
+            promoted = routing_plan(1, 6)
+            again = routing_plan(1, 6)
+        finally:
+            demote_module_caches()
+        assert promoted == baseline
+        assert again == baseline
+        tally = cache.stats()["namespaces"]["mps.routing"]
+        assert tally["hits"] == 1

@@ -1,0 +1,182 @@
+"""Unit tests for the job service and its request vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ReproError, ValidationError
+from repro.serve import JobService, JobSpec
+from repro.serve.jobs import NON_RESULT_FIELDS
+
+
+class TestJobSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValidationError, match="unknown job kind"):
+            JobSpec(kind="teleport")
+
+    def test_rejects_unknown_energy_method(self):
+        with pytest.raises(ValidationError, match="unknown energy method"):
+            JobSpec(kind="energy", method="vqe")
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValidationError, match="unknown job spec"):
+            JobSpec.from_dict({"kind": "energy", "molcule": "h2"})
+
+    def test_dict_round_trip(self):
+        spec = JobSpec(kind="vqe", molecule="lih", simulator="mps",
+                       measurement="sweep", tag="t1")
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_spec_key_ignores_labels_and_checkpoint_plumbing(self):
+        base = JobSpec(kind="vqe", molecule="h2")
+        relabeled = JobSpec(kind="vqe", molecule="h2", tag="other",
+                            checkpoint_path="/tmp/x.ckpt",
+                            checkpoint_every=5, resume=True)
+        assert base.spec_key() == relabeled.spec_key()
+        assert set(NON_RESULT_FIELDS) == {
+            "tag", "checkpoint_path", "checkpoint_every", "resume"}
+
+    def test_spec_key_separates_physics(self):
+        base = JobSpec(kind="vqe", molecule="h2")
+        for change in ({"molecule": "lih"}, {"simulator": "mps"},
+                       {"max_iterations": 7}, {"basis": "STO-3G".lower()},
+                       {"kind": "energy"}):
+            if change == {"basis": "sto-3g"}:
+                continue  # same value, not a perturbation
+            other = JobSpec(**{**base.to_dict(), **change})
+            if other != base:
+                assert other.spec_key() != base.spec_key()
+
+    def test_batch_key_groups_backend_compatible_work(self):
+        a = JobSpec(kind="vqe", molecule="h2", simulator="mps",
+                    measurement="sweep", optimizer="cobyla")
+        b = JobSpec(kind="vqe", molecule="h2", simulator="mps",
+                    measurement="sweep", optimizer="adam", grad="adjoint")
+        c = JobSpec(kind="vqe", molecule="h2", simulator="statevector")
+        assert a.batch_key() == b.batch_key()
+        assert a.batch_key() != c.batch_key()
+
+
+class TestServiceLifecycle:
+    def test_submit_status_result(self):
+        with JobService(observe=False) as service:
+            job_id = service.submit({"kind": "energy", "molecule": "h2",
+                                     "method": "hf"})
+            assert job_id == "job-0001"
+            result = service.result(job_id, timeout=60)
+            assert service.status(job_id) == "done"
+            assert result["energy"] == pytest.approx(-1.1166843870840548)
+
+    def test_failed_job_raises_on_result(self):
+        with JobService(observe=False) as service:
+            # grad with a gradient-free optimizer fails inside the job
+            job_id = service.submit(JobSpec(
+                kind="vqe", molecule="h2", simulator="statevector",
+                optimizer="cobyla", grad="adjoint"))
+            with pytest.raises(ReproError, match="ValidationError"):
+                service.result(job_id, timeout=60)
+            record = service.record(job_id)
+            assert record.status == "error"
+            assert record.error_type == "ValidationError"
+            assert "gradient-free" in record.error
+
+    def test_failed_job_does_not_poison_the_service(self):
+        with JobService(observe=False) as service:
+            bad = service.submit(JobSpec(kind="energy", molecule="xx99"))
+            good = service.submit(JobSpec(kind="energy", molecule="h2"))
+            assert service.result(good, timeout=60)["energy"] < -1.0
+            assert service.status(bad) == "error"
+
+    def test_unknown_job_id(self):
+        with JobService(observe=False) as service:
+            with pytest.raises(ValidationError, match="unknown job id"):
+                service.status("job-9999")
+
+    def test_submit_after_close_rejected(self):
+        service = JobService(observe=False)
+        service.close()
+        with pytest.raises(ValidationError, match="closed"):
+            service.submit(JobSpec(kind="energy", molecule="h2"))
+
+    def test_close_is_idempotent_and_drains(self):
+        service = JobService(observe=False)
+        job_id = service.submit(JobSpec(kind="energy", molecule="h2"))
+        service.close()
+        service.close()
+        assert service.status(job_id) == "done"
+
+    def test_submit_rejects_wrong_type(self):
+        with JobService(observe=False) as service:
+            with pytest.raises(ValidationError, match="JobSpec or dict"):
+                service.submit(["kind", "energy"])
+
+    def test_result_timeout(self):
+        # close() drains queued work, so keep the job seconds-scale:
+        # LiH FCI takes long enough that a 0.1 ms wait always expires
+        with JobService(observe=False) as service:
+            job_id = service.submit(JobSpec(
+                kind="energy", molecule="lih", method="fci"))
+            with pytest.raises(TimeoutError):
+                service.result(job_id, timeout=1e-4)
+
+
+class TestSchedulerSemantics:
+    def test_batches_group_compatible_jobs(self):
+        specs = [
+            JobSpec(kind="energy", molecule="h2", method="hf"),
+            JobSpec(kind="energy", molecule="lih", method="hf"),
+            JobSpec(kind="energy", molecule="h2", method="fci"),
+        ]
+        with JobService(observe=False) as service:
+            job_ids = [service.submit(spec) for spec in specs]
+            service.wait(job_ids, timeout=120)
+            records = [service.record(job_id) for job_id in job_ids]
+        batches = {r.batch[1] for r in records}
+        assert all(r.batch is not None for r in records)
+        # two compatibility classes: (h2, sto-3g, ...) and (lih, sto-3g, ...)
+        assert len(batches) == 2
+        h2_batches = {r.batch[0] for r in records
+                      if r.spec.molecule == "h2"}
+        assert len(h2_batches) == 1  # both h2 jobs rode one batch
+
+    def test_stats_shape(self):
+        with JobService(observe=False) as service:
+            job_id = service.submit(JobSpec(kind="energy", molecule="h2"))
+            service.wait([job_id], timeout=60)
+            stats = service.stats()
+        assert stats["jobs"]["done"] == 1
+        assert stats["jobs"]["submitted"] == 1
+        assert stats["batches"] >= 1
+        assert stats["busy_s"] > 0
+        assert stats["throughput_jobs_per_s"] > 0
+        assert stats["cache"]["max_bytes"] > 0
+
+    def test_results_are_isolated_copies(self):
+        """Mutating a returned result cannot poison the cache."""
+        with JobService(observe=False) as service:
+            spec = JobSpec(kind="energy", molecule="h2", method="hf")
+            first = service.result(service.submit(spec), timeout=60)
+            first["energy"] = 123.0
+            second = service.result(service.submit(spec), timeout=60)
+        assert second["energy"] != 123.0
+
+    def test_cache_budget_is_respected(self):
+        tiny = 16 << 10  # too small for a prepared system: evict/refuse
+        with JobService(observe=False, max_cache_bytes=tiny) as service:
+            ids = [service.submit(JobSpec(kind="energy", molecule="h2",
+                                          method="hf")),
+                   service.submit(JobSpec(kind="energy", molecule="lih",
+                                          method="hf"))]
+            service.wait(ids, timeout=120)
+            stats = service.stats()
+            results = [service.record(i).result for i in ids]
+        assert stats["cache"]["bytes"] <= tiny
+        assert all(r is not None for r in results)
+
+    def test_module_caches_demoted_after_close(self):
+        import repro.simulators.pauli_kernels as kernels_mod
+
+        service = JobService(observe=False)
+        assert kernels_mod._SHARED_CACHE is service.cache
+        service.close()
+        assert kernels_mod._SHARED_CACHE is None

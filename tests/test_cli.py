@@ -202,3 +202,87 @@ class TestCalibrateCommand:
             assert reg.value("tune.probe_runs") == 0
             assert reg.value("tune.cache", outcome="hit") == 1
         assert cached.doc["fingerprint_key"] in capsys.readouterr().out
+
+
+class TestServeCommand:
+    REQUESTS = [
+        {"kind": "energy", "molecule": "h2", "method": "hf"},
+        {"kind": "energy", "molecule": "h2", "method": "fci"},
+        {"kind": "energy", "molecule": "h2", "method": "hf", "tag": "dup"},
+        {"kind": "vqe", "molecule": "h2", "simulator": "fast"},
+    ]
+
+    def _request_file(self, tmp_path, entries=None):
+        import json
+
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(entries or self.REQUESTS))
+        return str(path)
+
+    def test_submit_status_result_lines(self, tmp_path, capsys):
+        assert main(["serve", "--requests",
+                     self._request_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "submitted job-0001" in out
+        assert "submitted job-0004" in out
+        assert out.count(" done ") == 4
+        assert "E = -1.11668439 Ha" in out      # served HF energy
+        assert "[cache hit]" in out             # the duplicated request
+        assert "4 done, 0 failed, 1 served from result cache" in out
+        assert "throughput:" in out
+
+    def test_metrics_out_writes_valid_obs2_per_request(self, tmp_path,
+                                                       capsys):
+        import json
+
+        from repro.obs.export import validate_document
+
+        metrics_dir = tmp_path / "metrics"
+        assert main(["serve", "--requests", self._request_file(tmp_path),
+                     "--metrics-out", str(metrics_dir)]) == 0
+        assert "per-request metrics written" in capsys.readouterr().out
+        files = sorted(metrics_dir.glob("job-*.json"))
+        assert [f.name for f in files] == [
+            f"job-{i:04d}.json" for i in range(1, 5)]
+        for f in files:
+            doc = json.loads(f.read_text())
+            validate_document(doc)
+            assert doc["schema"] == "repro.obs/2"
+            jobs = doc["metrics"]["serve.jobs"]["values"]
+            assert sum(slot["value"] for slot in jobs) == 1
+
+    def test_results_out_document(self, tmp_path, capsys):
+        import json
+
+        results = tmp_path / "results.json"
+        assert main(["serve", "--requests", self._request_file(tmp_path),
+                     "--results-out", str(results)]) == 0
+        doc = json.loads(results.read_text())
+        assert len(doc["jobs"]) == 4
+        assert doc["jobs"][2]["cache_hit"] is True
+        assert doc["jobs"][2]["tag"] == "dup"
+        assert doc["stats"]["jobs"]["done"] == 4
+        assert doc["stats"]["cache"]["hit_rate"] > 0
+
+    def test_failed_job_sets_exit_code(self, tmp_path, capsys):
+        entries = [{"kind": "energy", "molecule": "h2", "method": "hf"},
+                   {"kind": "energy", "molecule": "nope:9"}]
+        assert main(["serve", "--requests",
+                     self._request_file(tmp_path, entries)]) == 1
+        out = capsys.readouterr().out
+        assert "1 done, 1 failed" in out or "1 failed" in out
+        assert "error" in out
+
+    def test_bad_request_file_is_a_cli_error(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps([]))
+        assert main(["serve", "--requests", str(path)]) == 1
+        assert "non-empty" in capsys.readouterr().err
+
+    def test_unknown_spec_field_is_a_cli_error(self, tmp_path, capsys):
+        entries = [{"kind": "energy", "molcule": "h2"}]
+        assert main(["serve", "--requests",
+                     self._request_file(tmp_path, entries)]) == 1
+        assert "unknown job spec" in capsys.readouterr().err
