@@ -9,7 +9,20 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Attributes
+    ----------
+    flight:
+        Optional ``repro.obs.flight/1`` dump - the last N runtime events
+        from the always-on flight recorder, attached at the raise site by
+        :func:`repro.obs.flight.attach_flight` so operational failures
+        carry their own black box.  ``None`` when no recorder dump was
+        attached.
+    """
+
+    #: repro.obs.flight/1 dump attached at the raise site (None if absent)
+    flight: dict | None = None
 
 
 class ValidationError(ReproError, ValueError):

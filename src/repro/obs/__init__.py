@@ -45,10 +45,18 @@ from contextlib import contextmanager
 
 from repro.obs.export import (
     SCHEMA_VERSION,
+    TS_SCHEMA,
     snapshot,
     validate_document,
     write_json,
     write_jsonl,
+)
+from repro.obs.flight import (
+    FLIGHT,
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    attach_flight,
+    validate_flight,
 )
 from repro.obs.metrics import (
     REGISTRY,
@@ -61,6 +69,11 @@ from repro.obs.metrics import (
     histogram,
 )
 from repro.obs.trace import TRACER, SpanRecord, Tracer, span
+
+# the flight recorder watches span completions too: every finished span
+# lands in the crash ring as a "span" event (tracing must be on for
+# spans to exist at all; the hook itself is one None check when off)
+TRACER.edge_hook = FLIGHT.span_edge
 
 
 def enable(trace: bool = False) -> None:
@@ -103,6 +116,7 @@ def merge_snapshot(doc: dict, *, worker: int | None = None) -> float:
     """
     delta = REGISTRY.merge(doc.get("metrics", {}), worker=worker)
     TRACER.merge(doc.get("spans", []), worker=worker)
+    FLIGHT.merge(doc.get("flight"), worker=worker)
     return delta
 
 
@@ -132,6 +146,9 @@ def collect(trace: bool = False):
 
 __all__ = [
     "Counter",
+    "FLIGHT",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -139,7 +156,9 @@ __all__ = [
     "SCHEMA_VERSION",
     "SpanRecord",
     "TRACER",
+    "TS_SCHEMA",
     "Tracer",
+    "attach_flight",
     "collect",
     "counter",
     "disable",
@@ -152,6 +171,7 @@ __all__ = [
     "snapshot",
     "span",
     "validate_document",
+    "validate_flight",
     "value",
     "write_json",
     "write_jsonl",

@@ -1,0 +1,181 @@
+"""Bench regression attribution: *where* did the ledger move?
+
+:func:`repro.obs.bench.compare_ledgers` says *that* a gate tripped; this
+module says *what moved*.  It diffs a current ledger document against
+the committed baseline and produces a ranked list of findings - counter
+deltas, calibration-normalized wall drift, modeled per-phase flop/byte
+movement, and modeled-vs-measured roofline shifts - ordered by relative
+magnitude, so the exit-2 report leads with the kernel or phase that
+actually regressed instead of a flat problem list.
+
+The ranking is deterministic: severity is the relative change
+(``|cur - base| / max(|base|, eps)``), ties broken by (case, kind,
+name).  Findings are plain dicts so the report can be serialized next
+to the ledger artifact.
+"""
+
+from __future__ import annotations
+
+#: findings whose relative change is below this are noise, not signal
+MIN_REL_CHANGE = 1e-12
+
+#: severity assigned when a quantity disappeared or appeared outright
+MISSING_SEVERITY = float("inf")
+
+_KIND_ORDER = {"counter": 0, "energy": 1, "phase": 2, "roofline": 3,
+               "wall": 4}
+
+
+def _rel(base: float, cur: float) -> float:
+    return abs(cur - base) / max(abs(base), 1e-30)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value)}"
+    return f"{value:.6g}"
+
+
+def _finding(case: str, kind: str, name: str, base, cur, *,
+             severity: float | None = None, note: str = "") -> dict:
+    if severity is None:
+        severity = _rel(base, cur)
+    out = {
+        "case": case,
+        "kind": kind,
+        "name": name,
+        "baseline": base,
+        "current": cur,
+        "severity": severity,
+    }
+    if note:
+        out["note"] = note
+    return out
+
+
+def _case_findings(case: str, cur: dict, base: dict) -> list[dict]:
+    findings: list[dict] = []
+
+    # counters: the deterministic layer - any movement is algorithmic
+    base_counters = base.get("counters", {}) or {}
+    cur_counters = cur.get("counters", {}) or {}
+    for metric in sorted(set(base_counters) | set(cur_counters)):
+        b = base_counters.get(metric)
+        c = cur_counters.get(metric)
+        if b is None:
+            findings.append(_finding(case, "counter", metric, b, c,
+                                     severity=MISSING_SEVERITY,
+                                     note="new counter (absent in baseline)"))
+        elif c is None:
+            findings.append(_finding(case, "counter", metric, b, c,
+                                     severity=MISSING_SEVERITY,
+                                     note="counter disappeared"))
+        elif b != c:
+            findings.append(_finding(case, "counter", metric, b, c))
+
+    if "energy" in base and "energy" in cur and base["energy"] != cur["energy"]:
+        findings.append(_finding(case, "energy", "energy",
+                                 base["energy"], cur["energy"]))
+
+    # modeled phase costs: names the phase whose work volume moved
+    base_phases = (base.get("cost", {}) or {}).get("phases", {}) or {}
+    cur_phases = (cur.get("cost", {}) or {}).get("phases", {}) or {}
+    for phase in sorted(set(base_phases) | set(cur_phases)):
+        bp = base_phases.get(phase)
+        cp = cur_phases.get(phase)
+        if bp is None or cp is None:
+            findings.append(_finding(
+                case, "phase", f"{phase}.flops",
+                None if bp is None else bp.get("flops"),
+                None if cp is None else cp.get("flops"),
+                severity=MISSING_SEVERITY,
+                note="phase appeared" if bp is None else "phase disappeared"))
+            continue
+        for field in ("flops", "bytes"):
+            b = float(bp.get(field, 0.0))
+            c = float(cp.get(field, 0.0))
+            if b != c and _rel(b, c) > MIN_REL_CHANGE:
+                findings.append(_finding(case, "phase",
+                                         f"{phase}.{field}", b, c))
+
+    # roofline: measured throughput vs modeled work - when modeled flops
+    # held still but achieved GFLOP/s fell, the kernel itself got slower
+    base_cost = base.get("cost", {}) or {}
+    cur_cost = cur.get("cost", {}) or {}
+    b_ach = base_cost.get("achieved_gflops")
+    c_ach = cur_cost.get("achieved_gflops")
+    if b_ach and c_ach and _rel(b_ach, c_ach) > MIN_REL_CHANGE:
+        b_flops = float((base_cost.get("totals") or {}).get("flops", 0.0))
+        c_flops = float((cur_cost.get("totals") or {}).get("flops", 0.0))
+        if b_flops and _rel(b_flops, c_flops) > 1e-9:
+            note = "modeled work moved too (see phase findings)"
+        else:
+            note = "modeled work unchanged: kernel throughput moved"
+        findings.append(_finding(case, "roofline", "achieved_gflops",
+                                 b_ach, c_ach, note=note))
+
+    # wall: calibration-normalized when both sides carry it
+    key = ("wall_rel" if "wall_rel" in base and "wall_rel" in cur
+           else "wall_s")
+    if key in base and key in cur:
+        b = float(base[key])
+        c = float(cur[key])
+        if _rel(b, c) > MIN_REL_CHANGE:
+            note = "" if base.get("wall_gated", True) else "not wall-gated"
+            findings.append(_finding(case, "wall", key, b, c, note=note))
+
+    return findings
+
+
+def attribute_regression(current: dict, baseline: dict) -> dict:
+    """Ranked diff of two ledger documents (most-moved first).
+
+    Returns ``{"baseline_date", "current_date", "findings": [...]}``
+    where each finding carries case / kind / name / baseline / current /
+    severity (relative change; infinite for appeared/disappeared
+    quantities).  Only cases present in both documents contribute.
+    """
+    findings: list[dict] = []
+    base_cases = baseline.get("cases", {}) or {}
+    cur_cases = current.get("cases", {}) or {}
+    for case in sorted(base_cases):
+        cur = cur_cases.get(case)
+        if cur is None:
+            continue        # compare_ledgers already reports missing cases
+        findings.extend(_case_findings(case, cur, base_cases[case]))
+    findings.sort(key=lambda f: (-f["severity"], f["case"],
+                                 _KIND_ORDER.get(f["kind"], 9), f["name"]))
+    return {
+        "baseline_date": baseline.get("date"),
+        "current_date": current.get("date"),
+        "findings": findings,
+    }
+
+
+def format_attribution(report: dict, *, limit: int = 12) -> str:
+    """Human-readable ranked attribution table (empty string if clean)."""
+    findings = report.get("findings", [])
+    if not findings:
+        return ""
+    shown = findings[:limit]
+    lines = ["attribution (ranked by relative change):"]
+    for rank, f in enumerate(shown, start=1):
+        base, cur = f["baseline"], f["current"]
+        if base is None or cur is None:
+            change = "appeared" if base is None else "disappeared"
+            move = f"{_fmt(base) if base is not None else '-'} -> " \
+                   f"{_fmt(cur) if cur is not None else '-'}"
+        else:
+            sign = "+" if cur >= base else "-"
+            change = f"{sign}{_rel(base, cur):.1%}"
+            move = f"{_fmt(base)} -> {_fmt(cur)}"
+        note = f"  [{f['note']}]" if f.get("note") else ""
+        lines.append(f"  {rank:2d}. {f['kind']:<8} {f['case']:<22} "
+                     f"{f['name']:<28} {move}  ({change}){note}")
+    if len(findings) > len(shown):
+        lines.append(f"  ... {len(findings) - len(shown)} further "
+                     f"finding(s) suppressed")
+    return "\n".join(lines)
+
+
+__all__ = ["attribute_regression", "format_attribution", "MIN_REL_CHANGE"]

@@ -811,6 +811,11 @@ def run_cli(args: argparse.Namespace) -> int:
         print(f"PERF REGRESSION vs {baseline_path}:")
         for p in problems:
             print(f"  - {p}")
+        from repro.obs.attribution import (attribute_regression,
+                                           format_attribution)
+        text = format_attribution(attribute_regression(doc, baseline))
+        if text:
+            print(text)
         return 2
     print(f"no regressions vs {baseline_path}")
     return 0

@@ -57,6 +57,35 @@ SCHEMA_VERSION = "repro.obs/2"
 #: revisions validate_document still accepts (documents from older runs)
 _ACCEPTED_VERSIONS = ("repro.obs/1", "repro.obs/2")
 
+#: one serve-telemetry time-series sample (a JSONL line of the
+#: ``--telemetry-out`` stream and the body of the ``--status-file``)
+TS_SCHEMA = "repro.obs.ts/1"
+
+
+def validate_ts_sample(doc: dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed ts/1 sample."""
+    if doc.get("schema") != TS_SCHEMA:
+        raise ValueError(
+            f"not a telemetry sample: schema={doc.get('schema')!r} "
+            f"(expected {TS_SCHEMA!r})")
+    seq = doc.get("seq")
+    if not isinstance(seq, int) or seq < 0:
+        raise ValueError(f"ts sample seq must be a non-negative int: {seq!r}")
+    if not isinstance(doc.get("t_s"), (int, float)):
+        raise ValueError("ts sample missing numeric 't_s'")
+    for field in ("queue_depth", "in_flight"):
+        value = doc.get(field)
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(
+                f"ts sample {field!r} must be a non-negative int: {value!r}")
+    for field in ("jobs", "cache", "counters"):
+        if not isinstance(doc.get(field), dict):
+            raise ValueError(f"ts sample {field!r} must be an object")
+    for metric, delta in doc["counters"].items():
+        if not isinstance(delta, (int, float)):
+            raise ValueError(
+                f"ts sample counter delta {metric!r} is not a number")
+
 
 def snapshot(registry: MetricsRegistry | None = None,
              tracer: Tracer | None = None,
@@ -139,10 +168,18 @@ def validate_document(doc: dict) -> None:
         except ValidationError as exc:
             raise ValueError(str(exc)) from exc
         return
+    if schema == "repro.obs.flight/1":
+        from repro.obs.flight import validate_flight
+        validate_flight(doc)
+        return
+    if schema == TS_SCHEMA:
+        validate_ts_sample(doc)
+        return
     if schema not in _ACCEPTED_VERSIONS:
         raise ValueError(
             f"unknown schema {schema!r}; expected one of "
-            f"{_ACCEPTED_VERSIONS}, 'repro.bench/1' or 'repro.tune/1'"
+            f"{_ACCEPTED_VERSIONS}, 'repro.bench/1', 'repro.tune/1', "
+            f"'repro.obs.flight/1' or '{TS_SCHEMA}'"
         )
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -174,8 +211,10 @@ def validate_document(doc: dict) -> None:
 
 __all__ = [
     "SCHEMA_VERSION",
+    "TS_SCHEMA",
     "snapshot",
     "validate_document",
+    "validate_ts_sample",
     "write_json",
     "write_jsonl",
 ]

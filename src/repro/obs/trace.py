@@ -65,6 +65,10 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._next_id = 0
+        #: optional callable invoked with each completed SpanRecord -
+        #: the flight recorder registers itself here so span edges land
+        #: in the crash ring without the tracer importing flight
+        self.edge_hook = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -126,6 +130,9 @@ class Tracer:
             stack.pop()
             with self._lock:
                 self.spans.append(rec)
+            hook = self.edge_hook
+            if hook is not None:
+                hook(rec)
 
     # -- cross-process merging -------------------------------------------------
 

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.common.errors import TransportError, ValidationError
 from repro.common.reductions import kahan_sum
+from repro.obs import flight as _flight
 from repro.obs import metrics as _obs
 from repro.obs import trace as _trace
 from repro.operators.pauli import PauliTerm, QubitOperator
@@ -118,11 +119,15 @@ def _worker_obs_begin(directive) -> None:
     _WORKER_OBS["active"] = True
     _obs.REGISTRY.reset()
     _trace.TRACER.reset()
+    # the flight ring restarts per task so the shipped dump holds exactly
+    # this task's events (pool reuse never double-ships)
+    _flight.FLIGHT.reset()
     _obs.REGISTRY.enable()
     if directive[1]:
         _trace.TRACER.enable()
     else:
         _trace.TRACER.disable()
+    _flight.FLIGHT.note("task", "begin", worker=directive[0])
 
 
 def _worker_obs_finish(directive):
@@ -136,11 +141,14 @@ def _worker_obs_finish(directive):
         return None
     from repro.obs import export as _export
 
+    _flight.FLIGHT.note("task", "end", worker=directive[0])
     doc = _export.snapshot()
+    doc["flight"] = _flight.FLIGHT.snapshot()
     _obs.REGISTRY.disable()
     _trace.TRACER.disable()
     _obs.REGISTRY.reset()
     _trace.TRACER.reset()
+    _flight.FLIGHT.reset()
     return doc
 
 
@@ -150,6 +158,7 @@ def _merge_worker_payload(doc, worker: int | None) -> None:
         return
     _obs.REGISTRY.merge(doc.get("metrics", {}), worker=worker)
     _trace.TRACER.merge(doc.get("spans", []), worker=worker)
+    _flight.FLIGHT.merge(doc.get("flight"), worker=worker)
 
 #: default number of Pauli-group batches per Hamiltonian.  Fixed (rather
 #: than "one per worker") so the partition - and therefore every partial
@@ -476,6 +485,7 @@ def clear_worker_compiled_cache() -> None:
         _trace.TRACER.disable()
         _obs.REGISTRY.reset()
         _trace.TRACER.reset()
+        _flight.FLIGHT.reset()
         _WORKER_OBS["active"] = False
 
 
@@ -806,6 +816,8 @@ class GroupedObservable:
                 available=tuple(available_transports()))
         chunks = chunk_round_robin(len(self.payloads), executor.workers)
         _record_worker_chunks(chunks, "pauli_groups")
+        _flight.FLIGHT.note("dispatch", "mps_groups", chunks=len(chunks),
+                            executor=getattr(executor, "name", "?"))
         level3 = level3_config()
         tune_cfg = tuning_config()
         with export_state(mps) as exported:
@@ -825,6 +837,8 @@ class GroupedObservable:
     def _expectation_shared(self, psi: np.ndarray, executor) -> list[float]:
         chunks = chunk_round_robin(len(self.payloads), executor.workers)
         _record_worker_chunks(chunks, "pauli_groups")
+        _flight.FLIGHT.note("dispatch", "dense_groups", chunks=len(chunks),
+                            executor=getattr(executor, "name", "?"))
         with export_state(psi) as exported:
             tasks = [
                 (exported.handle, self.n_qubits,

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.errors import ValidationError
+from repro.obs import flight as _flight
 from repro.obs import metrics as _obs
 from repro.obs import trace as _trace
 from repro.parallel.comm import SimCluster, CommStats
@@ -238,6 +239,8 @@ class ThreeLevelEngine:
         workers = max(1, self.executor.workers)
         _record_worker_chunks(chunk_round_robin(len(tasks), workers),
                               "fragments")
+        _flight.FLIGHT.note("dispatch", "fragments", tasks=len(tasks),
+                            executor=self.executor.name)
         with _trace.span("parallel.run_fragments", n_tasks=len(tasks),
                          executor=self.executor.name):
             if self.executor.in_process:

@@ -39,7 +39,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.common.errors import CheckpointError
+from repro.obs import flight as _flight
 from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 
 #: schema tag of the checkpoint document
 CKPT_SCHEMA = "repro.ckpt/1"
@@ -107,19 +109,40 @@ def save_checkpoint(path: str | Path, *, optimizer: str, iteration: int,
     renamed into place, so readers never observe a torn document.
     """
     path = Path(path)
-    payload = _encode(state)
-    doc = {
-        "schema": CKPT_SCHEMA,
-        "optimizer": str(optimizer),
-        "iteration": int(iteration),
-        "payload": payload,
-        "checksum": _payload_checksum(payload),
-    }
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(doc, indent=2) + "\n")
-    os.replace(tmp, path)
+    with _trace.span("checkpoint.save", path=str(path),
+                     iteration=int(iteration)):
+        payload = _encode(state)
+        doc = {
+            "schema": CKPT_SCHEMA,
+            "optimizer": str(optimizer),
+            "iteration": int(iteration),
+            "payload": payload,
+            "checksum": _payload_checksum(payload),
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(doc, indent=2) + "\n")
+        os.replace(tmp, path)
     _M_WRITES.inc()
+    _flight.FLIGHT.note("checkpoint", "save", path=str(path),
+                        iteration=int(iteration))
     return path
+
+
+def _reject(path: Path, reason: str, message: str,
+            cause: Exception | None = None):
+    """Count, flight-note and raise one structured load rejection.
+
+    The flight event lands in the ring *before* the dump is attached, so
+    the error's own black box records the rejection it describes.
+    """
+    _M_ERRORS.inc(reason=reason)
+    _flight.FLIGHT.note("checkpoint", "load_rejected", reason=reason,
+                        path=str(path))
+    exc = _flight.attach_flight(
+        CheckpointError(message, path=str(path), reason=reason))
+    if cause is not None:
+        raise exc from cause
+    raise exc
 
 
 def load_checkpoint(path: str | Path, *,
@@ -129,54 +152,49 @@ def load_checkpoint(path: str | Path, *,
     Returns ``{"optimizer", "iteration", "state"}`` with arrays decoded.
     Any damage - missing file, truncated/unparseable JSON, checksum
     mismatch, unknown schema, or (when ``expect_optimizer`` is given) an
-    optimizer mismatch - raises a structured error carrying the path and
-    a machine-readable ``reason``; resuming never silently restarts.
+    optimizer mismatch - raises a structured error carrying the path, a
+    machine-readable ``reason`` and the flight-recorder dump
+    (``exc.flight``); resuming never silently restarts.
     """
     path = Path(path)
-    if not path.exists():
-        _M_ERRORS.inc(reason="missing")
-        raise CheckpointError(f"checkpoint {path} does not exist",
-                              path=str(path), reason="missing")
-    text = path.read_text()
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError as exc:
-        reason = "truncated" if not text.rstrip().endswith("}") else "corrupt"
-        _M_ERRORS.inc(reason=reason)
-        raise CheckpointError(
-            f"checkpoint {path} is not valid JSON ({exc})",
-            path=str(path), reason=reason) from exc
-    if not isinstance(doc, dict) or doc.get("schema") != CKPT_SCHEMA:
-        _M_ERRORS.inc(reason="schema")
-        raise CheckpointError(
-            f"checkpoint {path} has unknown schema "
-            f"{doc.get('schema') if isinstance(doc, dict) else None!r}; "
-            f"expected {CKPT_SCHEMA!r}",
-            path=str(path), reason="schema")
-    for field in ("optimizer", "iteration", "payload", "checksum"):
-        if field not in doc:
-            _M_ERRORS.inc(reason="truncated")
-            raise CheckpointError(
-                f"checkpoint {path} is missing field {field!r}",
-                path=str(path), reason="truncated")
-    if _payload_checksum(doc["payload"]) != doc["checksum"]:
-        _M_ERRORS.inc(reason="checksum")
-        raise CheckpointError(
-            f"checkpoint {path} failed its checksum - refusing to resume "
-            f"from a corrupt state",
-            path=str(path), reason="checksum")
-    if expect_optimizer is not None and doc["optimizer"] != expect_optimizer:
-        _M_ERRORS.inc(reason="mismatch")
-        raise CheckpointError(
-            f"checkpoint {path} was written by optimizer "
-            f"{doc['optimizer']!r}, not {expect_optimizer!r}",
-            path=str(path), reason="mismatch")
-    _M_LOADS.inc()
-    return {
-        "optimizer": doc["optimizer"],
-        "iteration": int(doc["iteration"]),
-        "state": _decode(doc["payload"]),
-    }
+    with _trace.span("checkpoint.load", path=str(path)):
+        if not path.exists():
+            _reject(path, "missing", f"checkpoint {path} does not exist")
+        text = path.read_text()
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            reason = ("truncated" if not text.rstrip().endswith("}")
+                      else "corrupt")
+            _reject(path, reason,
+                    f"checkpoint {path} is not valid JSON ({exc})",
+                    cause=exc)
+        if not isinstance(doc, dict) or doc.get("schema") != CKPT_SCHEMA:
+            _reject(path, "schema",
+                    f"checkpoint {path} has unknown schema "
+                    f"{doc.get('schema') if isinstance(doc, dict) else None!r}; "
+                    f"expected {CKPT_SCHEMA!r}")
+        for field in ("optimizer", "iteration", "payload", "checksum"):
+            if field not in doc:
+                _reject(path, "truncated",
+                        f"checkpoint {path} is missing field {field!r}")
+        if _payload_checksum(doc["payload"]) != doc["checksum"]:
+            _reject(path, "checksum",
+                    f"checkpoint {path} failed its checksum - refusing to "
+                    f"resume from a corrupt state")
+        if expect_optimizer is not None \
+                and doc["optimizer"] != expect_optimizer:
+            _reject(path, "mismatch",
+                    f"checkpoint {path} was written by optimizer "
+                    f"{doc['optimizer']!r}, not {expect_optimizer!r}")
+        _M_LOADS.inc()
+        _flight.FLIGHT.note("checkpoint", "load", path=str(path),
+                            iteration=int(doc["iteration"]))
+        return {
+            "optimizer": doc["optimizer"],
+            "iteration": int(doc["iteration"]),
+            "state": _decode(doc["payload"]),
+        }
 
 
 class CheckpointWriter:

@@ -144,6 +144,9 @@ class JobRecord:
     error_type: str | None = None
     #: per-request ``repro.obs/2`` snapshot (None when observe=False)
     metrics: dict | None = None
+    #: ``repro.obs.flight/1`` dump captured when the job failed - the
+    #: last N runtime events (workers included) leading to the error
+    flight: dict | None = None
     #: True when the result came straight from the serve.result cache
     cache_hit: bool = False
     #: scheduler batch this job executed in (drain ordinal, batch key)
@@ -165,6 +168,8 @@ class JobRecord:
         if self.error is not None:
             out["error"] = self.error
             out["error_type"] = self.error_type
+            if self.flight is not None:
+                out["flight"] = self.flight
         return out
 
 

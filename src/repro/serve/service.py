@@ -36,13 +36,17 @@ attributed (the service keeps its own lifetime tallies out-of-band in
 from __future__ import annotations
 
 import copy
+import json
+import os
 import threading
 import time
 from collections import deque
 
 from repro.common.errors import ReproError, ValidationError
-from repro.obs import metrics as _obs
 from repro.obs import export as _export
+from repro.obs import flight as _flight
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.serve.cache import (
     DEFAULT_MAX_BYTES,
     ServeCache,
@@ -77,12 +81,32 @@ class JobService:
         job (attached as ``record.metrics``).  The collection scope
         resets the global registry per job, so ambient ``obs.enable()``
         state is owned by the service while jobs run.
+    trace:
+        Also record spans inside each job's collection scope, so the
+        per-request metrics document carries a timeline (exportable with
+        :func:`repro.obs.timeline.chrome_trace`).  Implies nothing when
+        ``observe`` is off.
+    telemetry_out:
+        Append one ``repro.obs.ts/1`` JSON line per sampling interval to
+        this path (queue depth, in-flight jobs, cache stats, counter
+        deltas) - the live time-series stream of the daemon.
+    status_file:
+        Atomically rewrite this path (tmp + ``os.replace``) with the
+        latest telemetry sample each interval; ``python -m repro status``
+        renders it.
+    telemetry_interval_s:
+        Sampling period of the telemetry thread (default 1s); only
+        meaningful when ``telemetry_out`` or ``status_file`` is set.
     """
 
     def __init__(self, *, max_cache_bytes: int = DEFAULT_MAX_BYTES,
-                 observe: bool = True):
+                 observe: bool = True, trace: bool = False,
+                 telemetry_out: str | None = None,
+                 status_file: str | None = None,
+                 telemetry_interval_s: float = 1.0):
         self.cache = ServeCache(max_bytes=max_cache_bytes)
         self.observe = bool(observe)
+        self.trace = bool(trace)
         self._records: dict[str, JobRecord] = {}
         self._queue: deque[JobRecord] = deque()
         self._cv = threading.Condition()
@@ -90,10 +114,26 @@ class JobService:
         self._n_submitted = 0
         self._n_batches = 0
         self._busy_s = 0.0
+        self._started_unix = time.time()
+        self._t0 = time.perf_counter()
+        self._telemetry_out = str(telemetry_out) if telemetry_out else None
+        self._status_file = str(status_file) if status_file else None
+        self._telemetry_interval_s = float(telemetry_interval_s)
+        self._ts_seq = 0
+        self._ts_lock = threading.Lock()
+        self._telemetry_stop = threading.Event()
+        self._telemetry_thread: threading.Thread | None = None
         promote_module_caches(self.cache)
+        _flight.FLIGHT.note("serve", "service_start",
+                            max_cache_bytes=int(max_cache_bytes))
         self._thread = threading.Thread(
             target=self._loop, name="repro-serve-scheduler", daemon=True)
         self._thread.start()
+        if self._telemetry_out or self._status_file:
+            self._telemetry_thread = threading.Thread(
+                target=self._telemetry_loop, name="repro-serve-telemetry",
+                daemon=True)
+            self._telemetry_thread.start()
 
     # -- client API ----------------------------------------------------------
 
@@ -138,8 +178,12 @@ class JobService:
                     f"job {job_id} still {record.status!r} after "
                     f"{timeout}s")
         if record.status == "error":
-            raise ReproError(
+            exc = ReproError(
                 f"job {job_id} failed ({record.error_type}): {record.error}")
+            # re-raised failures carry the job's flight dump: the last N
+            # runtime events leading up to the error, workers included
+            exc.flight = record.flight
+            raise exc
         return copy.deepcopy(record.result)
 
     def wait(self, job_ids=None, timeout: float | None = None) -> None:
@@ -174,6 +218,59 @@ class JobService:
                 "cache": self.cache.stats(),
             }
 
+    # -- time-series telemetry -----------------------------------------------
+
+    def sample(self) -> dict:
+        """One ``repro.obs.ts/1`` telemetry sample of the live service.
+
+        Carries queue depth, in-flight jobs, lifetime job/batch/cache
+        statistics and the global-registry counter deltas since the
+        previous sample (the deltas also land in the flight ring as a
+        ``counters`` event, so crash dumps show recent counter motion).
+        """
+        stats = self.stats()
+        with self._cv:
+            depth = len(self._queue)
+            closed = self._closed
+        with self._ts_lock:
+            seq = self._ts_seq
+            self._ts_seq += 1
+        return {
+            "schema": _export.TS_SCHEMA,
+            "seq": seq,
+            "t_s": time.perf_counter() - self._t0,
+            "pid": os.getpid(),
+            "state": "closed" if closed else "running",
+            "started_unix": self._started_unix,
+            "uptime_s": time.time() - self._started_unix,
+            "queue_depth": depth,
+            "in_flight": stats["jobs"]["running"],
+            "jobs": stats["jobs"],
+            "batches": stats["batches"],
+            "busy_s": stats["busy_s"],
+            "throughput_jobs_per_s": stats["throughput_jobs_per_s"],
+            "cache": stats["cache"],
+            "counters": _flight.FLIGHT.note_counter_deltas(
+                name="serve.telemetry"),
+        }
+
+    def _emit_sample(self) -> dict:
+        doc = self.sample()
+        if self._telemetry_out:
+            with open(self._telemetry_out, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        if self._status_file:
+            tmp = self._status_file + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self._status_file)     # atomic: never torn
+        return doc
+
+    def _telemetry_loop(self) -> None:
+        while not self._telemetry_stop.wait(self._telemetry_interval_s):
+            self._emit_sample()
+
     def close(self) -> None:
         """Drain remaining work, stop the scheduler, demote the caches."""
         with self._cv:
@@ -182,6 +279,11 @@ class JobService:
             self._closed = True
             self._cv.notify_all()
         self._thread.join()
+        if self._telemetry_thread is not None:
+            self._telemetry_stop.set()
+            self._telemetry_thread.join()
+            self._emit_sample()     # final sample reports state="closed"
+        _flight.FLIGHT.note("serve", "service_close")
         demote_module_caches()
 
     def __enter__(self) -> "JobService":
@@ -207,8 +309,12 @@ class JobService:
                 drained = list(self._queue)
                 self._queue.clear()
             for batch in self._batches(drained):
-                for record in batch:
-                    self._execute(record)
+                _flight.FLIGHT.note("serve", "batch_start",
+                                    ordinal=batch[0].batch[0],
+                                    jobs=len(batch))
+                with _trace.span("serve.batch", jobs=len(batch)):
+                    for record in batch:
+                        self._execute(record)
 
     def _batches(self, drained: list[JobRecord]) -> list[list[JobRecord]]:
         """Group a drained queue into compatibility batches.
@@ -235,21 +341,40 @@ class JobService:
 
     def _execute(self, record: JobRecord) -> None:
         record.status = "running"
+        _flight.FLIGHT.note("serve", "job_start", job=record.job_id,
+                            job_kind=record.spec.kind)
         start = time.perf_counter()
         try:
             if self.observe:
                 from repro import obs
 
-                with obs.collect():
-                    record.result, record.cache_hit = self._run(record.spec)
-                record.metrics = _export.snapshot()
+                with obs.collect(trace=self.trace):
+                    # snapshot in a finally so a job that dies mid-run
+                    # still gets a valid (partial) metrics document
+                    try:
+                        with _trace.span("serve.job", job=record.job_id,
+                                         kind=record.spec.kind):
+                            record.result, record.cache_hit = \
+                                self._run(record.spec)
+                    finally:
+                        record.metrics = _export.snapshot()
             else:
-                record.result, record.cache_hit = self._run(record.spec)
+                with _trace.span("serve.job", job=record.job_id,
+                                 kind=record.spec.kind):
+                    record.result, record.cache_hit = self._run(record.spec)
             record.status = "done"
+            _flight.FLIGHT.note("serve", "job_done", job=record.job_id,
+                                cache_hit=record.cache_hit)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             record.error = str(exc)
             record.error_type = type(exc).__name__
             record.status = "error"
+            _flight.FLIGHT.note("serve", "job_error", job=record.job_id,
+                                error_type=record.error_type)
+            # the service-level ring is the richest view: it holds the
+            # job's own events plus any merged worker events plus the
+            # error itself (a dump attached deeper stays on `exc`)
+            record.flight = _flight.FLIGHT.snapshot()
         finally:
             record.wall_s = time.perf_counter() - start
             with self._cv:

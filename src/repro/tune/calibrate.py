@@ -33,7 +33,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.common.errors import ValidationError
+from repro.obs import flight as _flight
 from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 
 #: schema tag of persisted calibration documents (see docs/OBSERVABILITY.md)
 TUNE_SCHEMA = "repro.tune/1"
@@ -148,7 +150,18 @@ def calibrate(quick: bool = True, repeats: int | None = None) -> "Calibration":
     ``quick`` trades grid density for probe wall time (the quick grid
     finishes in well under a second on commodity hardware and is what the
     CI job runs); ``repeats`` overrides the best-of repetition count.
+    The probe is traced: a ``tune.calibrate`` span wraps the run and a
+    ``tune.probe`` span (labelled by kernel family) covers each grid, so
+    calibration no longer shows up as a gap in exported timelines.
     """
+    with _trace.span("tune.calibrate", quick=bool(quick)):
+        cal = _run_probe(quick, repeats)
+    _flight.FLIGHT.note("tune", "calibrate", quick=bool(quick),
+                        wall_s=cal.doc["probe"]["wall_s"])
+    return cal
+
+
+def _run_probe(quick: bool, repeats: int | None) -> "Calibration":
     from repro.simulators import mps_measure as _mm
     from repro.simulators.kernels import (KernelBackend, svd_truncated,
                                           tensordot_fused)
@@ -163,72 +176,78 @@ def calibrate(quick: bool = True, repeats: int | None = None) -> "Calibration":
     # batched environment advance: the sweep / adjoint-gradient workhorse
     env_t: list[list[float]] = []
     comb_t: list[list[float]] = []
-    for rows in grids["rows"]:
-        env_row, comb_row = [], []
-        for d in grids["d"]:
-            env = _rand_complex(rng, rows, d, d)
-            bk = _rand_complex(rng, d, 2, d)
-            bc = _rand_complex(rng, d, 2, d)
-            env_row.append(_time_kernel(
-                lambda: _mm._advance_left(env, bk, bc), reps))
-            other = _rand_complex(rng, rows, d, d)
-            comb_row.append(_time_kernel(
-                lambda: np.einsum("kij,kij->k", env, other), reps))
-        env_t.append(env_row)
-        comb_t.append(comb_row)
+    with _trace.span("tune.probe", kernel="env_advance+combine"):
+        for rows in grids["rows"]:
+            env_row, comb_row = [], []
+            for d in grids["d"]:
+                env = _rand_complex(rng, rows, d, d)
+                bk = _rand_complex(rng, d, 2, d)
+                bc = _rand_complex(rng, d, 2, d)
+                env_row.append(_time_kernel(
+                    lambda: _mm._advance_left(env, bk, bc), reps))
+                other = _rand_complex(rng, rows, d, d)
+                comb_row.append(_time_kernel(
+                    lambda: np.einsum("kij,kij->k", env, other), reps))
+            env_t.append(env_row)
+            comb_t.append(comb_row)
 
     # three-layer MPO transfer at one site (square MPO bond w)
     mpo_t: list[list[float]] = []
-    for d in grids["d"]:
-        row = []
-        for w in grids["w"]:
-            envw = _rand_complex(rng, d, w, d)
-            b = _rand_complex(rng, d, 2, d)
-            wt = _rand_complex(rng, w, 2, 2, w)
+    with _trace.span("tune.probe", kernel="mpo_transfer"):
+        for d in grids["d"]:
+            row = []
+            for w in grids["w"]:
+                envw = _rand_complex(rng, d, w, d)
+                b = _rand_complex(rng, d, 2, d)
+                wt = _rand_complex(rng, w, 2, 2, w)
 
-            def site():
-                tmp = np.einsum("amc,aib->mcib", envw, b, optimize=True)
-                tmp = np.einsum("mcib,mjin->cbjn", tmp, wt, optimize=True)
-                return np.einsum("cbjn,cjd->bnd", tmp, b.conj(),
-                                 optimize=True)
+                def site():
+                    tmp = np.einsum("amc,aib->mcib", envw, b, optimize=True)
+                    tmp = np.einsum("mcib,mjin->cbjn", tmp, wt,
+                                    optimize=True)
+                    return np.einsum("cbjn,cjd->bnd", tmp, b.conj(),
+                                     optimize=True)
 
-            row.append(_time_kernel(site, reps))
-        mpo_t.append(row)
+                row.append(_time_kernel(site, reps))
+            mpo_t.append(row)
 
     # fused permute+GEMM and truncated SVD on square shapes
     probe_backend = KernelBackend(name="blas")
     gemm_t = []
-    for n in grids["gemm_n"]:
-        a = _rand_complex(rng, n, n)
-        b2 = _rand_complex(rng, n, n)
-        gemm_t.append(_time_kernel(
-            lambda: tensordot_fused(a, b2, axes=((1,), (0,)),
-                                    backend=probe_backend), reps))
     svd_t = []
-    for d in grids["d"]:
-        m = _rand_complex(rng, 2 * d, 2 * d)
-        svd_t.append(_time_kernel(
-            lambda: svd_truncated(m, backend=probe_backend), reps))
+    with _trace.span("tune.probe", kernel="gemm+svd"):
+        for n in grids["gemm_n"]:
+            a = _rand_complex(rng, n, n)
+            b2 = _rand_complex(rng, n, n)
+            gemm_t.append(_time_kernel(
+                lambda: tensordot_fused(a, b2, axes=((1,), (0,)),
+                                        backend=probe_backend), reps))
+        for d in grids["d"]:
+            m = _rand_complex(rng, 2 * d, 2 * d)
+            svd_t.append(_time_kernel(
+                lambda: svd_truncated(m, backend=probe_backend), reps))
 
     # per-term transfer walk: one single-row advance per support site,
     # including the python dispatch overhead the batched paths amortize
     pt_t = []
-    for d in grids["pt_d"]:
-        env1 = _rand_complex(rng, 1, d, d)
-        bk = _rand_complex(rng, d, 2, d)
-        bc = _rand_complex(rng, d, 2, d)
+    with _trace.span("tune.probe", kernel="per_term_site"):
+        for d in grids["pt_d"]:
+            env1 = _rand_complex(rng, 1, d, d)
+            bk = _rand_complex(rng, d, 2, d)
+            bc = _rand_complex(rng, d, 2, d)
 
-        def walk_site():
-            return _mm._advance_left(env1, bk, bc)
+            def walk_site():
+                return _mm._advance_left(env1, bk, bc)
 
-        pt_t.append(_time_kernel(walk_site, reps) + 2e-6)
+            pt_t.append(_time_kernel(walk_site, reps) + 2e-6)
     # the flat 2us stands in for the per-site python bookkeeping of
     # MPS.expectation_pauli (dict lookups, slicing) the probe loop elides
 
     # thread-pool dispatch overhead (level-3 slice futures)
     from concurrent.futures import ThreadPoolExecutor
 
-    with ThreadPoolExecutor(max_workers=2) as pool:
+    with _trace.span("tune.probe", kernel="dispatch"), \
+            ThreadPoolExecutor(max_workers=2) as pool:
         def dispatch():
             list(pool.map(int, range(8)))
 

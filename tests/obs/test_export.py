@@ -165,3 +165,58 @@ class TestSchemaV2:
         ledger["cases"]["h2_sv_direct"].pop("counters")
         with pytest.raises(ValueError, match="counters"):
             validate_document(ledger)
+
+
+class TestFlightAndTelemetrySchemas:
+    """validate_document dispatch for the two observability side schemas."""
+
+    def _flight(self):
+        return {"schema": "repro.obs.flight/1", "capacity": 4, "dropped": 1,
+                "events": [{"seq": 3, "t_s": 0.5, "kind": "serve",
+                            "name": "job_start", "worker": 1,
+                            "data": {"job": "job-1"}}]}
+
+    def _ts(self):
+        return {"schema": "repro.obs.ts/1", "seq": 2, "t_s": 3.5,
+                "queue_depth": 1, "in_flight": 2,
+                "jobs": {"done": 4, "error": 0},
+                "cache": {"hit_rate": 0.5},
+                "counters": {"serve.batches": 2.0}}
+
+    def test_flight_dump_round_trips(self):
+        validate_document(json.loads(json.dumps(self._flight())))
+
+    def test_flight_malformed_rejected(self):
+        doc = self._flight()
+        doc["events"].append({"seq": 0, "t_s": 0.6, "kind": "serve",
+                              "name": "late"})
+        with pytest.raises(ValueError, match="increasing"):
+            validate_document(doc)
+
+    def test_ts_sample_round_trips(self):
+        validate_document(json.loads(json.dumps(self._ts())))
+
+    def test_ts_status_extras_accepted(self):
+        # the serve status file is a ts/1 sample with daemon fields
+        doc = self._ts()
+        doc.update(pid=1234, state="running", started_unix=1.7e9,
+                   uptime_s=12.5)
+        validate_document(json.loads(json.dumps(doc)))
+
+    @pytest.mark.parametrize("field,bad", [
+        ("seq", -1), ("t_s", "soon"), ("queue_depth", -2),
+        ("in_flight", 1.5), ("jobs", []), ("counters", {"x": "many"}),
+    ])
+    def test_ts_malformed_rejected(self, field, bad):
+        doc = self._ts()
+        doc[field] = bad
+        with pytest.raises(ValueError):
+            validate_document(doc)
+
+    def test_obs_documents_still_accepted(self, populated):
+        reg, trc = populated
+        validate_document(snapshot(reg, trc))
+
+    def test_unknown_schema_lists_all_families(self):
+        with pytest.raises(ValueError, match="repro.obs.flight/1"):
+            validate_document({"schema": "repro.obs/99"})

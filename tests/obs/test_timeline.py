@@ -1,0 +1,129 @@
+"""Tests for the Chrome trace-event exporter (repro.obs.timeline)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.timeline import GENERATOR, chrome_trace, write_chrome_trace
+from repro.obs.trace import Tracer
+
+
+def _span(name, *, start=0.0, wall=1e-3, thread="MainThread",
+          worker=None, depth=0, span_id=1, parent_id=None, **attrs):
+    if worker is not None:
+        attrs["worker"] = worker
+    return {"span_id": span_id, "parent_id": parent_id, "name": name,
+            "depth": depth, "start_s": start, "wall_s": wall,
+            "cpu_s": wall, "thread": thread, "attrs": attrs}
+
+
+def _complete(doc):
+    return [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+
+
+def _metadata(doc):
+    return [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+
+
+class TestPidTidMapping:
+    def test_parent_spans_in_pid_zero(self):
+        doc = chrome_trace([_span("vqe.run")])
+        (ev,) = _complete(doc)
+        assert ev["pid"] == 0
+
+    def test_worker_spans_in_worker_plus_one(self):
+        doc = chrome_trace([_span("task", worker=2)])
+        (ev,) = _complete(doc)
+        assert ev["pid"] == 3
+        assert "worker" not in ev["args"]  # encoded as the pid
+
+    def test_tids_sorted_by_thread_name(self):
+        doc = chrome_trace([
+            _span("b", thread="worker-1"),
+            _span("a", thread="MainThread"),
+        ])
+        by_name = {ev["name"]: ev for ev in _complete(doc)}
+        assert by_name["a"]["tid"] == 0   # "MainThread" < "worker-1"
+        assert by_name["b"]["tid"] == 1
+
+    def test_process_and_thread_metadata(self):
+        doc = chrome_trace([_span("p"), _span("w", worker=0)])
+        meta = {(ev["name"], ev["pid"]): ev["args"]["name"]
+                for ev in _metadata(doc)}
+        assert meta[("process_name", 0)] == "parent"
+        assert meta[("process_name", 1)] == "worker 0"
+        assert meta[("thread_name", 0)] == "MainThread"
+
+
+class TestTimestamps:
+    def test_per_pid_normalization(self):
+        """Worker clocks have their own perf_counter origin; every pid's
+        earliest span must land at ts=0."""
+        doc = chrome_trace([
+            _span("p1", start=5.0, span_id=1),
+            _span("p2", start=5.5, span_id=2),
+            _span("w1", start=100.0, worker=0, span_id=3),
+        ])
+        ts = {ev["name"]: ev["ts"] for ev in _complete(doc)}
+        assert ts["p1"] == 0.0
+        assert ts["p2"] == pytest.approx(0.5e6)
+        assert ts["w1"] == 0.0
+
+    def test_durations_in_microseconds(self):
+        doc = chrome_trace([_span("p", wall=0.25)])
+        (ev,) = _complete(doc)
+        assert ev["dur"] == pytest.approx(0.25e6)
+
+
+class TestContent:
+    def test_category_is_name_prefix(self):
+        doc = chrome_trace([_span("vqe.energy")])
+        (ev,) = _complete(doc)
+        assert ev["cat"] == "vqe"
+
+    def test_args_carry_span_linkage_and_attrs(self):
+        doc = chrome_trace([_span("s", span_id=7, parent_id=3, depth=2,
+                                  method="sweep")])
+        (ev,) = _complete(doc)
+        assert ev["args"]["span_id"] == 7
+        assert ev["args"]["parent_id"] == 3
+        assert ev["args"]["depth"] == 2
+        assert ev["args"]["method"] == "sweep"
+
+    def test_generator_stamp(self):
+        doc = chrome_trace([])
+        assert doc["otherData"]["generator"] == GENERATOR
+        assert doc["traceEvents"] == []
+
+
+class TestSources:
+    def test_obs_document_source(self):
+        doc = chrome_trace({"schema": "repro.obs/2",
+                            "spans": [_span("from.doc")]})
+        assert [ev["name"] for ev in _complete(doc)] == ["from.doc"]
+
+    def test_live_tracer_source(self):
+        t = Tracer()
+        t.enable()
+        with t.span("live.work"):
+            pass
+        doc = chrome_trace(t.snapshot())
+        (ev,) = _complete(doc)
+        assert ev["name"] == "live.work"
+        assert ev["dur"] >= 0.0
+
+    def test_deterministic_for_a_span_set(self):
+        spans = [_span("a", thread="t2", span_id=1),
+                 _span("b", thread="t1", worker=1, span_id=2)]
+        assert chrome_trace(spans) == chrome_trace(list(spans))
+
+
+class TestWrite:
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        doc = write_chrome_trace(path, [_span("x")])
+        loaded = json.loads(path.read_text())
+        assert loaded == doc
+        assert loaded["displayTimeUnit"] == "ms"

@@ -261,3 +261,31 @@ class TestWriterAndValidation:
         expect.standard_normal(17)
         assert np.array_equal(clone.standard_normal(100),
                               expect.standard_normal(100))
+
+
+class TestCheckpointFlightDump:
+    def test_rejected_load_carries_flight_dump(self, tmp_path):
+        from repro.obs.flight import validate_flight
+
+        with pytest.raises(CheckpointError) as err:
+            load_checkpoint(tmp_path / "never_written.ckpt")
+        dump = err.value.flight
+        validate_flight(dump)
+        # the ring recorded its own rejection before the attach
+        assert any(ev["kind"] == "checkpoint"
+                   and ev["name"] == "load_rejected"
+                   and ev["data"]["reason"] == "missing"
+                   for ev in dump["events"])
+
+    def test_save_and_load_leave_flight_breadcrumbs(self, tmp_path):
+        from repro.obs.flight import FLIGHT
+
+        FLIGHT.reset()
+        path = tmp_path / "bc.ckpt"
+        save_checkpoint(path, optimizer="adam", iteration=1,
+                        state={"iteration": 1})
+        load_checkpoint(path)
+        names = [(ev["kind"], ev["name"])
+                 for ev in FLIGHT.snapshot()["events"]]
+        assert ("checkpoint", "save") in names
+        assert ("checkpoint", "load") in names

@@ -180,3 +180,167 @@ class TestSchedulerSemantics:
         assert kernels_mod._SHARED_CACHE is service.cache
         service.close()
         assert kernels_mod._SHARED_CACHE is None
+
+
+class TestTelemetry:
+    def test_sample_is_a_valid_ts_document(self):
+        import json
+
+        from repro.obs.export import validate_document
+
+        with JobService(observe=False) as service:
+            service.submit(JobSpec(kind="energy", molecule="h2"))
+            service.wait(timeout=60)
+            sample = service.sample()
+        validate_document(json.loads(json.dumps(sample)))
+        assert sample["schema"] == "repro.obs.ts/1"
+        assert sample["jobs"]["done"] == 1
+        assert sample["queue_depth"] == 0
+
+    def test_sample_seq_increments(self):
+        with JobService(observe=False) as service:
+            assert service.sample()["seq"] == 0
+            assert service.sample()["seq"] == 1
+
+    def test_telemetry_stream_is_jsonl_of_valid_samples(self, tmp_path):
+        import json
+
+        from repro.obs.export import validate_document
+
+        out = tmp_path / "telemetry.jsonl"
+        with JobService(observe=False, telemetry_out=str(out),
+                        telemetry_interval_s=0.02) as service:
+            service.submit(JobSpec(kind="energy", molecule="h2"))
+            service.wait(timeout=60)
+        lines = out.read_text().splitlines()
+        assert lines  # close() always emits the final sample
+        samples = [json.loads(line) for line in lines]
+        for sample in samples:
+            validate_document(sample)
+        assert [s["seq"] for s in samples] == sorted(
+            s["seq"] for s in samples)
+        assert samples[-1]["state"] == "closed"
+        assert samples[-1]["jobs"]["done"] == 1
+
+    def test_status_file_is_rewritten_atomically(self, tmp_path):
+        import json
+        import os
+
+        from repro.obs.export import validate_document
+
+        status = tmp_path / "status.json"
+        with JobService(observe=False, status_file=str(status),
+                        telemetry_interval_s=0.02) as service:
+            service.submit(JobSpec(kind="energy", molecule="h2"))
+            service.wait(timeout=60)
+            service._emit_sample()
+            live = json.loads(status.read_text())
+            assert live["state"] == "running"
+            assert live["pid"] == os.getpid()
+        final = json.loads(status.read_text())
+        validate_document(final)
+        assert final["state"] == "closed"
+        assert not status.with_name(status.name + ".tmp").exists()
+
+    def test_counter_deltas_ride_the_samples(self):
+        from repro import obs
+        from repro.obs.flight import FLIGHT
+
+        FLIGHT.reset()      # fresh delta marks
+        with obs.collect():
+            with JobService(observe=False) as service:
+                service.submit(JobSpec(kind="energy", molecule="h2"))
+                service.wait(timeout=60)
+                deltas = service.sample()["counters"]
+        # service-level counters always move once a batch drains
+        assert any(name.startswith("serve.") for name in deltas)
+
+
+class TestFailureFlightDumps:
+    def test_failed_job_record_carries_flight_dump(self):
+        from repro.obs.flight import validate_flight
+
+        with JobService(observe=False) as service:
+            job_id = service.submit(JobSpec(
+                kind="vqe", molecule="h2", simulator="statevector",
+                optimizer="cobyla", grad="adjoint"))
+            service.wait(timeout=60)
+            record = service.record(job_id)
+        assert record.status == "error"
+        validate_flight(record.flight)
+        names = [(ev["kind"], ev["name"]) for ev in record.flight["events"]]
+        assert ("serve", "job_start") in names
+        assert ("serve", "job_error") in names
+
+    def test_result_reraise_carries_the_dump(self):
+        from repro.obs.flight import validate_flight
+
+        with JobService(observe=False) as service:
+            job_id = service.submit(JobSpec(
+                kind="vqe", molecule="h2", simulator="statevector",
+                optimizer="cobyla", grad="adjoint"))
+            try:
+                service.result(job_id, timeout=60)
+            except ReproError as exc:
+                validate_flight(exc.flight)
+            else:
+                raise AssertionError("expected the job failure to re-raise")
+
+    def test_failed_job_summary_exposes_the_dump(self):
+        with JobService(observe=False) as service:
+            job_id = service.submit(JobSpec(kind="energy", molecule="xx99"))
+            service.wait(timeout=60)
+            summary = service.record(job_id).summary()
+        assert summary["status"] == "error"
+        assert summary["flight"]["schema"] == "repro.obs.flight/1"
+
+    def test_successful_job_has_no_dump(self):
+        with JobService(observe=False) as service:
+            job_id = service.submit(JobSpec(kind="energy", molecule="h2"))
+            service.result(job_id, timeout=60)
+            record = service.record(job_id)
+        assert record.flight is None
+        assert "flight" not in record.summary()
+
+    def test_failed_job_still_writes_valid_metrics(self):
+        """--metrics-out must stay a valid document when the request
+        fails mid-batch."""
+        import json
+
+        from repro.obs.export import validate_document
+
+        with JobService(observe=True) as service:
+            job_id = service.submit(JobSpec(
+                kind="vqe", molecule="h2", simulator="statevector",
+                optimizer="cobyla", grad="adjoint"))
+            service.wait(timeout=60)
+            record = service.record(job_id)
+        assert record.status == "error"
+        assert record.metrics is not None
+        validate_document(json.loads(json.dumps(record.metrics)))
+
+
+class TestServeSpans:
+    def test_job_span_lands_in_the_request_receipt(self):
+        with JobService(observe=True, trace=True) as service:
+            job_id = service.submit(JobSpec(kind="energy", molecule="h2"))
+            service.result(job_id, timeout=60)
+            record = service.record(job_id)
+        names = [s["name"] for s in record.metrics.get("spans", [])]
+        assert "serve.job" in names
+
+    def test_batch_span_recorded_under_global_tracing(self):
+        """serve.batch wraps a whole compatibility batch, so it lives
+        outside the per-job collect scopes - a session-wide trace sees
+        it (one bar per scheduler drain)."""
+        from repro import obs
+        from repro.obs.trace import TRACER
+
+        with obs.collect(trace=True):
+            with JobService(observe=False) as service:
+                job_id = service.submit(JobSpec(kind="energy",
+                                                molecule="h2"))
+                service.result(job_id, timeout=60)
+            names = [s["name"] for s in TRACER.snapshot()]
+        assert "serve.batch" in names
+        assert "serve.job" in names

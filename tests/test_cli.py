@@ -286,3 +286,119 @@ class TestServeCommand:
         assert main(["serve", "--requests",
                      self._request_file(tmp_path, entries)]) == 1
         assert "unknown job spec" in capsys.readouterr().err
+
+
+class TestTraceOut:
+    def test_energy_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(["energy", "--molecule", "h2", "--method", "vqe",
+                     "--max-iterations", "8",
+                     "--trace-out", str(trace)]) == 0
+        assert "chrome trace written" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        assert doc["otherData"]["generator"] == "repro.obs.timeline"
+        complete = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert any(ev["name"].startswith("vqe.") for ev in complete)
+        meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        assert any(ev["args"]["name"] == "parent" for ev in meta)
+
+    def test_trace_out_implies_tracing(self, tmp_path, capsys):
+        # no --trace flag: spans must still be recorded for the export
+        trace = tmp_path / "t.json"
+        assert main(["energy", "--molecule", "h2", "--method", "vqe",
+                     "--max-iterations", "8",
+                     "--trace-out", str(trace)]) == 0
+        import json
+
+        assert json.loads(trace.read_text())["traceEvents"]
+
+
+class TestServeTelemetry:
+    REQUESTS = [
+        {"kind": "energy", "molecule": "h2", "method": "hf"},
+        {"kind": "energy", "molecule": "h2", "method": "fci"},
+    ]
+
+    def _request_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(self.REQUESTS))
+        return str(path)
+
+    def test_telemetry_stream_and_status_file(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_document
+
+        telemetry = tmp_path / "telemetry.jsonl"
+        status = tmp_path / "status.json"
+        assert main(["serve", "--requests", self._request_file(tmp_path),
+                     "--telemetry-out", str(telemetry),
+                     "--status-file", str(status),
+                     "--telemetry-interval", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry stream written" in out
+        assert "status file written" in out
+        samples = [json.loads(line)
+                   for line in telemetry.read_text().splitlines()]
+        assert samples
+        for sample in samples:
+            validate_document(sample)
+        final = json.loads(status.read_text())
+        validate_document(final)
+        assert final["state"] == "closed"
+        assert final["jobs"]["done"] == 2
+
+    def test_status_command_renders_snapshot(self, tmp_path, capsys):
+        status = tmp_path / "status.json"
+        assert main(["serve", "--requests", self._request_file(tmp_path),
+                     "--status-file", str(status),
+                     "--telemetry-interval", "0.02"]) == 0
+        capsys.readouterr()
+        assert main(["status", "--status-file", str(status)]) == 0
+        out = capsys.readouterr().out
+        assert "service pid" in out
+        assert "closed" in out
+        assert "jobs   : 2 done" in out
+        assert "cache  :" in out
+        assert "jobs/s" in out
+
+    def test_status_missing_file_is_a_cli_error(self, tmp_path, capsys):
+        assert main(["status", "--status-file",
+                     str(tmp_path / "nope.json")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_trace_writes_per_job_chrome_traces(self, tmp_path,
+                                                      capsys):
+        import json
+
+        metrics_dir = tmp_path / "metrics"
+        assert main(["serve", "--requests", self._request_file(tmp_path),
+                     "--metrics-out", str(metrics_dir), "--trace"]) == 0
+        traces = sorted(metrics_dir.glob("job-*.trace.json"))
+        assert len(traces) == 2
+        doc = json.loads(traces[0].read_text())
+        names = [ev["name"] for ev in doc["traceEvents"]
+                 if ev["ph"] == "X"]
+        assert "serve.job" in names
+
+    def test_failed_job_summary_carries_flight_dump(self, tmp_path,
+                                                    capsys):
+        import json
+
+        from repro.obs.flight import validate_flight
+
+        entries = tmp_path / "reqs.json"
+        entries.write_text(json.dumps(
+            [{"kind": "energy", "molecule": "nope:9"}]))
+        results = tmp_path / "results.json"
+        assert main(["serve", "--requests", str(entries),
+                     "--results-out", str(results)]) == 1
+        (job,) = json.loads(results.read_text())["jobs"]
+        assert job["status"] == "error"
+        validate_flight(job["flight"])
+        kinds = {(ev["kind"], ev["name"]) for ev in job["flight"]["events"]}
+        assert ("serve", "job_error") in kinds

@@ -184,3 +184,21 @@ class TestValidation:
         del cal_doc["kernels"]["gemm"]
         with pytest.raises(ValueError, match="gemm"):
             validate_document(cal_doc)
+
+
+class TestProbeSpans:
+    def test_probe_records_per_kernel_spans_and_flight_note(self):
+        from repro.obs.flight import FLIGHT
+        from repro.obs.trace import TRACER
+
+        FLIGHT.reset()
+        with obs.collect(trace=True):
+            from repro.tune import calibrate as probe
+
+            probe(quick=True, repeats=1)
+            names = [s["name"] for s in TRACER.snapshot()]
+        assert "tune.calibrate" in names
+        probes = [s for s in names if s == "tune.probe"]
+        assert len(probes) >= 4    # one per probed kernel family
+        assert any(ev["kind"] == "tune" and ev["name"] == "calibrate"
+                   for ev in FLIGHT.snapshot()["events"])
